@@ -1,0 +1,24 @@
+"""Figure 10: per-cluster results for Retypd, with and without cluster averaging.
+
+The paper groups binaries that share most of their code (coreutils, vpx, ...)
+into clusters and reports per-cluster averages plus the overall averages with
+and without clustering.  This benchmark regenerates that table for the
+synthetic suite.
+"""
+
+from conftest import write_result
+
+
+def test_fig10_cluster_table(benchmark, suite, retypd_report):
+    from repro.eval.harness import figure10_rows, format_rows
+
+    rows = benchmark(figure10_rows, retypd_report, suite)
+    table = format_rows(rows)
+    write_result("fig10_clusters.txt", "Figure 10: per-cluster metrics (Retypd)\n\n" + table)
+
+    named = {row.get("cluster"): row for row in rows}
+    assert "coreutils" in named
+    overall = named["OVERALL (clustered)"]
+    assert overall["conservativeness"] >= 0.80
+    assert overall["distance"] <= 1.5
+    assert overall["const_recall"] >= 0.80

@@ -1,0 +1,32 @@
+"""Figure 11: type-inference time versus program size.
+
+The paper fits ``T = 0.000725 * N^1.098`` (R^2 = 0.977) over 2K-840K
+instruction binaries -- essentially linear scaling despite the cubic
+per-procedure worst case.  The reproduction sweeps generated programs of
+increasing size, fits the same power-law model numerically in (N, T) space and
+checks that the measured exponent stays far below the cubic worst case.
+"""
+
+from conftest import write_result
+
+
+def test_fig11_time_scaling(benchmark, scaling_points):
+    from repro.eval.scaling import figure11_fit, fit_power_law
+
+    fit = benchmark(figure11_fit, scaling_points)
+
+    lines = [
+        "Figure 11: type-inference time vs program size",
+        "",
+        f"{'program':>12}  {'cfg_nodes':>9}  {'instructions':>12}  {'seconds':>8}",
+    ]
+    for point in scaling_points:
+        lines.append(
+            f"{point.name:>12}  {point.cfg_nodes:>9}  {point.instructions:>12}  {point.seconds:>8.3f}"
+        )
+    lines += ["", f"best fit: T = {fit.a:.3g} * N^{fit.b:.3f}   (R^2 = {fit.r_squared:.3f})",
+              "paper:    T = 0.000725 * N^1.098 (R^2 = 0.977)"]
+    write_result("fig11_time_scaling.txt", "\n".join(lines))
+
+    assert fit.b < 2.5, "scaling should stay far below the cubic worst case"
+    assert fit.r_squared > 0.5

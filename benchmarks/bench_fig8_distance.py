@@ -1,0 +1,39 @@
+"""Figure 8: distance to ground-truth types and interval size, per engine.
+
+The paper reports mean distance 0.54 for Retypd against 1.15-1.70 for the
+dynamic/static TIE, REWARDS and SecondWrite baselines, and mean interval size
+1.2 against 1.7-2.0.  The reproduction checks the *shape*: Retypd's distance
+and interval must not be worse than every baseline's.
+"""
+
+from conftest import write_result
+
+
+def test_fig8_distance_and_interval(benchmark, suite, engine_reports):
+    from repro.baselines import RetypdEngine
+    from repro.eval.harness import figure8_rows, format_rows
+    from repro.eval.metrics import evaluate_program
+
+    # Benchmark: Retypd end-to-end on one representative member of the suite.
+    probe = suite[0]
+    engine = RetypdEngine()
+
+    def analyze_probe():
+        return evaluate_program(probe.name, engine.analyze(probe.program), probe.ground_truth)
+
+    metrics = benchmark(analyze_probe)
+    assert metrics.variable_count > 0
+
+    rows = figure8_rows(engine_reports)
+    table = format_rows(rows)
+    write_result(
+        "fig8_distance_interval.txt",
+        "Figure 8: distance to source type and interval size (lower is better)\n\n" + table,
+    )
+
+    by_engine = {row["engine"]: row for row in rows}
+    retypd = by_engine["retypd"]
+    assert retypd["overall_distance"] <= by_engine["propagation"]["overall_distance"]
+    assert retypd["overall_distance"] <= by_engine["tie"]["overall_distance"] + 0.05
+    assert retypd["overall_interval"] <= by_engine["propagation"]["overall_interval"]
+    assert retypd["overall_interval"] <= by_engine["tie"]["overall_interval"] + 0.05

@@ -1,0 +1,44 @@
+"""Figure 9: conservativeness and multi-level pointer accuracy, per engine.
+
+The paper reports ~95% conservativeness and 88% mean pointer accuracy for
+Retypd (SecondWrite: 73% pointer accuracy).  The reproduction checks that
+Retypd stays highly conservative and beats the signature-propagation baseline
+on pointer accuracy while at least matching the unification baseline's
+conservativeness.
+"""
+
+from conftest import write_result
+
+
+def test_fig9_conservativeness_pointer_accuracy(benchmark, suite, engine_reports):
+    from repro.baselines import UnificationEngine
+    from repro.eval.harness import figure9_rows, format_rows
+    from repro.eval.metrics import evaluate_program
+
+    probe = suite[0]
+    engine = UnificationEngine()
+
+    def analyze_probe():
+        return evaluate_program(probe.name, engine.analyze(probe.program), probe.ground_truth)
+
+    metrics = benchmark(analyze_probe)
+    assert metrics.variable_count > 0
+
+    rows = figure9_rows(engine_reports)
+    table = format_rows(rows)
+    write_result(
+        "fig9_conservativeness.txt",
+        "Figure 9: conservativeness and pointer accuracy (higher is better)\n\n" + table,
+    )
+
+    by_engine = {row["engine"]: row for row in rows}
+    retypd = by_engine["retypd"]
+    assert retypd["overall_conservativeness"] >= 0.80
+    assert (
+        retypd["overall_conservativeness"]
+        >= by_engine["unification"]["overall_conservativeness"] - 0.02
+    )
+    assert (
+        retypd["overall_pointer_accuracy"]
+        >= by_engine["propagation"]["overall_pointer_accuracy"]
+    )

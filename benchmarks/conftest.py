@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure/table of the paper's evaluation has a matching ``bench_fig*.py``
+module.  Expensive artifacts (the synthetic benchmark suite and the engine
+reports over it) are computed once per session and shared; each module then
+benchmarks its figure's core computation and writes the regenerated table to
+``benchmarks/results/``.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: scale factor for the synthetic suite; raise for a closer match to the paper's
+#: corpus sizes, lower for a quicker run.
+SUITE_SCALE = float(os.environ.get("REPRO_SUITE_SCALE", "0.75"))
+SCALING_SIZES = tuple(
+    int(s) for s in os.environ.get("REPRO_SCALING_SIZES", "6,12,25,50,100").split(",")
+)
+
+
+def write_result(name: str, content: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(content + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The clustered benchmark suite (Figures 7-10)."""
+    from repro.eval.workloads import standard_suite
+
+    return standard_suite(scale=SUITE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def engine_reports(suite):
+    """All four engines run over the whole suite (Figures 8 and 9)."""
+    from repro.eval.harness import compare_engines
+
+    return compare_engines(suite)
+
+
+@pytest.fixture(scope="session")
+def retypd_report(engine_reports):
+    return engine_reports["retypd"]
+
+
+@pytest.fixture(scope="session")
+def scaling_points():
+    """Timing/memory measurements over the size sweep (Figures 11 and 12)."""
+    from repro.eval.scaling import measure_scaling
+    from repro.eval.workloads import scaling_suite
+
+    workloads = scaling_suite(sizes=SCALING_SIZES)
+    return measure_scaling(workloads)

@@ -1,0 +1,109 @@
+"""Const-annotation recovery and user-defined semantic tags (sections 2.8, 3.5, 6.4).
+
+Two Retypd features beyond plain C types are shown here:
+
+* a pointer parameter that is only ever read through gets a ``const``
+  annotation (the paper recovers 98% of source-level const annotations);
+* the auxiliary lattice is user-extensible: library models can seed semantic
+  tags such as ``#FileDescriptor`` or a custom ``#packet-length``, and those
+  tags propagate through the program alongside ordinary types.
+
+Run with::
+
+    python examples/const_and_tags.py
+"""
+
+from repro import analyze_program
+from repro.core import default_lattice
+from repro.frontend import compile_c
+from repro.typegen.externs import standard_externs, ExternSignature
+
+SOURCE = """
+struct packet {
+    int length;
+    int flags;
+    char * body;
+};
+
+int packet_length(const struct packet * p) {
+    return p->length;
+}
+
+void packet_set_flags(struct packet * p, int flags) {
+    p->flags = flags;
+}
+
+int packet_send(int fd, const struct packet * p) {
+    int sent;
+    sent = write(fd, p, packet_length(p));
+    return sent;
+}
+
+int packet_forward(const struct packet * p, const char * path) {
+    int fd;
+    int result;
+    fd = open(path, 1);
+    if (fd < 0) {
+        return 0 - 1;
+    }
+    result = packet_send(fd, p);
+    close(fd);
+    return result;
+}
+"""
+
+
+def main() -> None:
+    compiled = compile_c(SOURCE)
+
+    # Extend the lattice with a custom semantic tag and teach the analysis that
+    # `packet_length`-style values carry it (section 2.8: user-adjustable
+    # type hierarchy).  Here we seed it through an extern-style model of
+    # `write`, whose third argument is a byte count.
+    lattice = default_lattice()
+    lattice.add_tag("#packet-length", "int")
+    externs = standard_externs()
+    externs["write"] = ExternSignature(
+        name="write",
+        stack_params=3,
+        constraints=(
+            "write.in_stack0 <= int",
+            "write.in_stack0 <= #FileDescriptor",
+            "write.in_stack4.load <= TOP",
+            "write.in_stack8 <= #packet-length",
+            "ssize_t <= write.out_eax",
+        ),
+    )
+
+    types = analyze_program(compiled.program, lattice=lattice, externs=externs)
+
+    print("=== recovered signatures ===")
+    print(types.report())
+    print()
+
+    print("=== const recovery vs ground truth ===")
+    for name, truth in compiled.ground_truth.functions.items():
+        info = types[name]
+        for index, (location, declared) in enumerate(truth.params):
+            if not truth.param_const[index]:
+                continue
+            inferred = (
+                info.function_type.params[info.param_locations.index(location)]
+                if location in info.param_locations
+                else None
+            )
+            recovered = getattr(inferred, "const", False)
+            print(f"{name}({location}): declared const -> recovered const = {recovered}")
+    print()
+
+    print("=== semantic tags on packet_length's return and write's size ===")
+    scheme_text = str(types.scheme("packet_length"))
+    print(scheme_text)
+    print()
+    print("fd parameters that picked up #FileDescriptor:")
+    for name in ("packet_send", "packet_forward"):
+        print(f"  {name}: {types.signature(name)}")
+
+
+if __name__ == "__main__":
+    main()

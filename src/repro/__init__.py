@@ -1,0 +1,25 @@
+"""repro -- a reproduction of "Polymorphic Type Inference for Machine Code" (Retypd).
+
+Subpackages
+-----------
+``repro.core``
+    The type system and inference algorithms (the paper's contribution).
+``repro.ir``
+    The machine-code intermediate representation substrate.
+``repro.typegen``
+    Constraint generation by abstract interpretation of the IR.
+``repro.frontend``
+    A miniature C compiler used to produce realistic, type-erased binaries with
+    known ground-truth types.
+``repro.baselines``
+    Unification-, interval- and propagation-based comparison algorithms.
+``repro.eval``
+    Benchmark-suite generation, metrics and the evaluation harness.
+"""
+
+__version__ = "0.1.0"
+
+from . import core
+from .pipeline import FunctionTypes, ProgramTypes, analyze_program
+
+__all__ = ["FunctionTypes", "ProgramTypes", "analyze_program", "core", "__version__"]

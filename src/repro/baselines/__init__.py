@@ -1,0 +1,24 @@
+"""Comparison engines: the algorithm families the paper evaluates against."""
+
+from .common import RetypdEngine, TypeInferenceEngine, whole_program_constraints
+from .unification import UnificationEngine
+from .tie import TIEEngine, truncate_sketch
+from .propagation import PropagationEngine
+
+ALL_ENGINES = {
+    "retypd": RetypdEngine,
+    "unification": UnificationEngine,
+    "tie": TIEEngine,
+    "propagation": PropagationEngine,
+}
+
+__all__ = [
+    "ALL_ENGINES",
+    "PropagationEngine",
+    "RetypdEngine",
+    "TIEEngine",
+    "TypeInferenceEngine",
+    "UnificationEngine",
+    "truncate_sketch",
+    "whole_program_constraints",
+]

@@ -1,0 +1,108 @@
+"""An IdaPro-style signature-propagation baseline.
+
+IdaPro recovers types by propagating the signatures of recognized library
+functions through direct value copies, stopping at the first conflict and
+defaulting everything else to ``int``.  The baseline mirrors that: it seeds the
+lattice atoms of the modelled libc formals, propagates them along copy
+constraints (treating them as equalities, ignoring all structural labels), and
+renders every untouched location as ``int``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set
+
+from ..core.constraints import ConstraintSet
+from ..core.ctype import FunctionType, IntType, PointerType, UnknownType, VoidType
+from ..core.display import TypeDisplay
+from ..core.labels import InLabel, OutLabel
+from ..core.lattice import default_lattice
+from ..core.schemes import TypeScheme
+from ..core.solver import ProcedureResult
+from ..core.variables import DerivedTypeVariable
+from ..ir.cfg import cfg_node_count
+from ..ir.program import Program
+from ..pipeline import FunctionTypes, ProgramTypes
+from ..typegen.externs import ensure_lattice_tags
+from .common import TypeInferenceEngine, whole_program_constraints
+
+
+class PropagationEngine(TypeInferenceEngine):
+    name = "propagation"
+
+    #: how many copy steps a seeded type survives
+    max_steps = 4
+
+    def analyze(self, program: Program) -> ProgramTypes:
+        start = time.perf_counter()
+        inputs, combined, lattice = whole_program_constraints(program)
+        ensure_lattice_tags(lattice)
+
+        # Seed: any derived type variable directly bounded by a type constant.
+        seeds: Dict[DerivedTypeVariable, str] = {}
+        for constraint in combined:
+            if lattice.is_constant(constraint.right.base) and constraint.right.is_base:
+                seeds[constraint.left] = constraint.right.base
+            if lattice.is_constant(constraint.left.base) and constraint.left.is_base:
+                seeds[constraint.right] = constraint.left.base
+
+        # Propagate along copy constraints only (both directions, as IdaPro's
+        # propagation is effectively a unification that stops on conflicts).
+        types: Dict[DerivedTypeVariable, str] = dict(seeds)
+        copy_edges = [
+            (c.left, c.right)
+            for c in combined
+            if not lattice.is_constant(c.left.base) and not lattice.is_constant(c.right.base)
+        ]
+        for _ in range(self.max_steps):
+            changed = False
+            for left, right in copy_edges:
+                for a, b in ((left, right), (right, left)):
+                    if a in types and b not in types:
+                        types[b] = types[a]
+                        changed = True
+            if not changed:
+                break
+
+        display = TypeDisplay(lattice)
+        functions: Dict[str, FunctionTypes] = {}
+        for name, proc in inputs.items():
+            params = []
+            names = []
+            locations = []
+            for dtv in proc.formal_ins:
+                atom = types.get(dtv)
+                params.append(self._atom_to_ctype(display, atom))
+                label = dtv.labels[0]
+                location = label.location if isinstance(label, InLabel) else str(label)
+                names.append(f"arg_{location}")
+                locations.append(location)
+            if proc.formal_outs:
+                ret = self._atom_to_ctype(display, types.get(proc.formal_outs[0]))
+            else:
+                ret = VoidType()
+            ftype = FunctionType(tuple(params), ret)
+            result = ProcedureResult(
+                name=name, scheme=TypeScheme(proc=name, constraints=ConstraintSet())
+            )
+            functions[name] = FunctionTypes(
+                name=name,
+                function_type=ftype,
+                param_names=names,
+                param_locations=locations,
+                result=result,
+            )
+        elapsed = time.perf_counter() - start
+        stats = {
+            "total_seconds": elapsed,
+            "instructions": program.instruction_count,
+            "cfg_nodes": sum(cfg_node_count(proc) for proc in program),
+        }
+        return ProgramTypes(program=program, functions=functions, display=display, stats=stats)
+
+    @staticmethod
+    def _atom_to_ctype(display: TypeDisplay, atom: Optional[str]):
+        if atom is None:
+            return IntType(32, True)  # the IdaPro default
+        return display.atom_to_ctype(atom)

@@ -1,0 +1,209 @@
+"""Type constraints and constraint sets (Definition 3.3, Appendix A.6).
+
+Two kinds of constraints are first-class:
+
+* :class:`SubtypeConstraint` -- ``X <= Y`` between derived type variables.  The
+  existence constraints ``VAR X`` of the paper are implicit: mentioning a
+  derived type variable in a subtype constraint asserts its existence, and
+  :meth:`ConstraintSet.derived_type_variables` enumerates every mentioned
+  variable together with all of its prefixes.
+* :class:`AddConstraint` / :class:`SubConstraint` -- the three-place additive
+  constraints ``ADD(X, Y; Z)`` and ``SUB(X, Y; Z)`` of Appendix A.6 used to
+  propagate pointer-ness and integer-ness through address arithmetic
+  (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from .variables import DerivedTypeVariable, parse_dtv
+
+
+@dataclass(frozen=True, order=True)
+class SubtypeConstraint:
+    """``left <= right`` : the type of ``left`` may flow where ``right`` is expected."""
+
+    left: DerivedTypeVariable
+    right: DerivedTypeVariable
+
+    def __str__(self) -> str:
+        return f"{self.left} <= {self.right}"
+
+    def __repr__(self) -> str:
+        return f"SubtypeConstraint({self!s})"
+
+    def substitute(self, mapping: Dict[str, str]) -> "SubtypeConstraint":
+        """Rename base variables according to ``mapping`` (used at instantiation)."""
+        left = self.left
+        right = self.right
+        if left.base in mapping:
+            left = left.with_base(mapping[left.base])
+        if right.base in mapping:
+            right = right.with_base(mapping[right.base])
+        return SubtypeConstraint(left, right)
+
+
+@dataclass(frozen=True, order=True)
+class AddConstraint:
+    """``ADD(left, right; result)`` -- ``result`` was computed as ``left + right``."""
+
+    left: DerivedTypeVariable
+    right: DerivedTypeVariable
+    result: DerivedTypeVariable
+
+    def __str__(self) -> str:
+        return f"Add({self.left}, {self.right}; {self.result})"
+
+
+@dataclass(frozen=True, order=True)
+class SubConstraint:
+    """``SUB(left, right; result)`` -- ``result`` was computed as ``left - right``."""
+
+    left: DerivedTypeVariable
+    right: DerivedTypeVariable
+    result: DerivedTypeVariable
+
+    def __str__(self) -> str:
+        return f"Sub({self.left}, {self.right}; {self.result})"
+
+
+Constraint = Union[SubtypeConstraint, AddConstraint, SubConstraint]
+
+
+class ConstraintSet:
+    """A finite collection of constraints over derived type variables.
+
+    The class behaves like a set of :class:`SubtypeConstraint` (iteration,
+    ``in``, ``len``) while also carrying the additive constraints separately,
+    mirroring how the solver treats them (Appendix A.6).
+    """
+
+    def __init__(
+        self,
+        subtype: Optional[Iterable[SubtypeConstraint]] = None,
+        additive: Optional[Iterable[Union[AddConstraint, SubConstraint]]] = None,
+    ) -> None:
+        self.subtype: Set[SubtypeConstraint] = set(subtype or ())
+        self.additive: Set[Union[AddConstraint, SubConstraint]] = set(additive or ())
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, constraint: Constraint) -> None:
+        if isinstance(constraint, SubtypeConstraint):
+            self.subtype.add(constraint)
+        else:
+            self.additive.add(constraint)
+
+    def add_subtype(self, left: DerivedTypeVariable, right: DerivedTypeVariable) -> None:
+        self.subtype.add(SubtypeConstraint(left, right))
+
+    def update(self, other: "ConstraintSet") -> None:
+        self.subtype |= other.subtype
+        self.additive |= other.additive
+
+    def union(self, other: "ConstraintSet") -> "ConstraintSet":
+        return ConstraintSet(self.subtype | other.subtype, self.additive | other.additive)
+
+    def copy(self) -> "ConstraintSet":
+        return ConstraintSet(set(self.subtype), set(self.additive))
+
+    # -- set-like behaviour ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[SubtypeConstraint]:
+        return iter(sorted(self.subtype, key=str))
+
+    def __len__(self) -> int:
+        return len(self.subtype)
+
+    def __contains__(self, constraint: Constraint) -> bool:
+        if isinstance(constraint, SubtypeConstraint):
+            return constraint in self.subtype
+        return constraint in self.additive
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self.subtype == other.subtype and self.additive == other.additive
+
+    def __str__(self) -> str:
+        lines = [str(c) for c in sorted(self.subtype, key=str)]
+        lines += [str(c) for c in sorted(self.additive, key=str)]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({len(self.subtype)} subtype, {len(self.additive)} additive)"
+
+    # -- queries ---------------------------------------------------------------
+
+    def derived_type_variables(self) -> Set[DerivedTypeVariable]:
+        """All derived type variables mentioned in the constraints, plus prefixes.
+
+        This realizes the closure under T-PREFIX assumed throughout Appendix B.
+        """
+        result: Set[DerivedTypeVariable] = set()
+        for constraint in self.subtype:
+            for dtv in (constraint.left, constraint.right):
+                result.add(dtv)
+                result.update(dtv.prefixes())
+        for constraint in self.additive:
+            for dtv in (constraint.left, constraint.right, constraint.result):
+                result.add(dtv)
+                result.update(dtv.prefixes())
+        return result
+
+    def base_variables(self) -> Set[str]:
+        """Names of all base type variables mentioned anywhere."""
+        return {dtv.base for dtv in self.derived_type_variables()}
+
+    def constraints_mentioning(self, base: str) -> List[SubtypeConstraint]:
+        return [
+            c
+            for c in self.subtype
+            if c.left.base == base or c.right.base == base
+        ]
+
+    # -- transformation --------------------------------------------------------
+
+    def substitute(self, mapping: Dict[str, str]) -> "ConstraintSet":
+        """Rename base variables; used for callsite instantiation of type schemes."""
+        out = ConstraintSet()
+        for constraint in self.subtype:
+            out.subtype.add(constraint.substitute(mapping))
+        for constraint in self.additive:
+            fix = lambda d: d.with_base(mapping[d.base]) if d.base in mapping else d
+            if isinstance(constraint, AddConstraint):
+                out.additive.add(
+                    AddConstraint(fix(constraint.left), fix(constraint.right), fix(constraint.result))
+                )
+            else:
+                out.additive.add(
+                    SubConstraint(fix(constraint.left), fix(constraint.right), fix(constraint.result))
+                )
+        return out
+
+
+def parse_constraint(text: str) -> SubtypeConstraint:
+    """Parse ``"x.load <= y"`` (also accepts the unicode subset sign)."""
+    normalized = text.replace("⊑", "<=").replace("<:", "<=")
+    if "<=" not in normalized:
+        raise ValueError(f"cannot parse constraint: {text!r}")
+    left, right = normalized.split("<=", 1)
+    return SubtypeConstraint(parse_dtv(left), parse_dtv(right))
+
+
+def parse_constraints(lines: Iterable[str]) -> ConstraintSet:
+    """Parse a sequence of textual constraints into a :class:`ConstraintSet`.
+
+    Blank lines and lines starting with ``//`` or ``;`` are ignored.  (``#`` is
+    *not* a comment marker because semantic tags such as ``#FileDescriptor``
+    are legitimate type constants.)
+    """
+    out = ConstraintSet()
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("//") or line.startswith(";"):
+            continue
+        out.add(parse_constraint(line))
+    return out

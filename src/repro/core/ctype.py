@@ -1,0 +1,254 @@
+"""A small model of C types.
+
+This is the vocabulary shared by three parts of the system:
+
+* the *display* phase of Retypd (section 4.3) emits these types to the user;
+* the mini-C frontend records them as ground truth when it erases types;
+* the evaluation metrics (TIE distance, pointer accuracy, conservativeness,
+  const recall) compare inferred types against ground-truth types.
+
+Only the structure needed for those tasks is modelled: sized integers,
+floats, void, pointers with ``const`` flags, named structs with offset-mapped
+fields, unions, and function types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CType:
+    """Base class for all C types."""
+
+    #: size of a value of this type in bits; ``None`` when unknown.
+    size_bits: Optional[int] = None
+
+    def pointer_depth(self) -> int:
+        """Number of pointer levels (used by the multi-level pointer metric)."""
+        return 0
+
+    def __str__(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UnknownType(CType):
+    """A type about which nothing is known (the lattice TOP / BOTTOM image)."""
+
+    size_bits: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.size_bits:
+            return f"unknown{self.size_bits}"
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    size_bits: Optional[int] = None
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    size_bits: int = 32
+    signed: bool = True
+
+    def __str__(self) -> str:
+        names = {8: "char", 16: "short", 32: "int", 64: "long long"}
+        base = names.get(self.size_bits, f"int{self.size_bits}")
+        return base if self.signed else f"unsigned {base}"
+
+
+@dataclass(frozen=True)
+class BoolType(CType):
+    size_bits: int = 8
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class FloatType(CType):
+    size_bits: int = 32
+
+    def __str__(self) -> str:
+        return "float" if self.size_bits == 32 else "double"
+
+
+@dataclass(frozen=True)
+class CodeType(CType):
+    """The type of a code address (a function entry point)."""
+
+    size_bits: Optional[int] = 32
+
+    def __str__(self) -> str:
+        return "code"
+
+
+@dataclass(frozen=True)
+class TypedefType(CType):
+    """A named alias carrying a semantic purpose (FILE, HANDLE, #FileDescriptor...)."""
+
+    name: str
+    underlying: CType = dc_field(default_factory=lambda: IntType(32))
+
+    @property
+    def size_bits(self) -> Optional[int]:  # type: ignore[override]
+        return self.underlying.size_bits
+
+    def pointer_depth(self) -> int:
+        return self.underlying.pointer_depth()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType = dc_field(default_factory=UnknownType)
+    const: bool = False
+    size_bits: int = 32
+
+    def pointer_depth(self) -> int:
+        return 1 + self.pointee.pointer_depth()
+
+    def __str__(self) -> str:
+        prefix = "const " if self.const else ""
+        return f"{prefix}{self.pointee} *"
+
+
+@dataclass(frozen=True)
+class StructField:
+    offset: int
+    ctype: CType
+    name: str = ""
+
+    def __str__(self) -> str:
+        name = self.name or f"field_{self.offset}"
+        return f"{self.ctype} {name}; /* offset {self.offset} */"
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    name: str = ""
+    fields: Tuple[StructField, ...] = ()
+
+    @property
+    def size_bits(self) -> Optional[int]:  # type: ignore[override]
+        total = 0
+        for field_ in self.fields:
+            size = field_.ctype.size_bits or 32
+            total = max(total, field_.offset * 8 + size)
+        return total or None
+
+    def field_at(self, offset: int) -> Optional[StructField]:
+        for field_ in self.fields:
+            if field_.offset == offset:
+                return field_
+        return None
+
+    def __str__(self) -> str:
+        if self.name and not self.fields:
+            return f"struct {self.name}"
+        inner = " ".join(str(f) for f in self.fields)
+        tag = f" {self.name}" if self.name else ""
+        return f"struct{tag} {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class StructRef(CType):
+    """A reference to a named struct (used to express recursive types)."""
+
+    name: str
+    size_bits: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class UnionType(CType):
+    members: Tuple[CType, ...] = ()
+
+    @property
+    def size_bits(self) -> Optional[int]:  # type: ignore[override]
+        sizes = [m.size_bits for m in self.members if m.size_bits]
+        return max(sizes) if sizes else None
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(m) for m in self.members)
+        return f"union {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    params: Tuple[CType, ...] = ()
+    ret: CType = dc_field(default_factory=VoidType)
+    size_bits: Optional[int] = None
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.ret} (*)({params})"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType = dc_field(default_factory=UnknownType)
+    count: Optional[int] = None
+
+    @property
+    def size_bits(self) -> Optional[int]:  # type: ignore[override]
+        if self.count is None or self.element.size_bits is None:
+            return None
+        return self.count * self.element.size_bits
+
+    def __str__(self) -> str:
+        count = self.count if self.count is not None else ""
+        return f"{self.element}[{count}]"
+
+
+# -- helpers -------------------------------------------------------------------------
+
+
+def render_function(name: str, ftype: FunctionType, param_names: Sequence[str] = ()) -> str:
+    """Render a function declaration in C syntax."""
+    rendered = []
+    for i, param in enumerate(ftype.params):
+        pname = param_names[i] if i < len(param_names) else f"arg{i}"
+        rendered.append(f"{param} {pname}")
+    params = ", ".join(rendered) or "void"
+    return f"{ftype.ret} {name}({params});"
+
+
+def strip_typedefs(ctype: CType) -> CType:
+    """Remove typedef wrappers (used when metrics compare structure)."""
+    while isinstance(ctype, TypedefType):
+        ctype = ctype.underlying
+    return ctype
+
+
+def is_pointer(ctype: CType) -> bool:
+    return isinstance(strip_typedefs(ctype), PointerType)
+
+
+def is_integral(ctype: CType) -> bool:
+    stripped = strip_typedefs(ctype)
+    return isinstance(stripped, (IntType, BoolType))
+
+
+CHAR = IntType(8, True)
+UCHAR = IntType(8, False)
+SHORT = IntType(16, True)
+INT = IntType(32, True)
+UINT = IntType(32, False)
+LONGLONG = IntType(64, True)
+FLOAT = FloatType(32)
+DOUBLE = FloatType(64)
+VOID = VoidType()
+UNKNOWN = UnknownType()
+CHAR_PTR = PointerType(CHAR)
+VOID_PTR = PointerType(VoidType())

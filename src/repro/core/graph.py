@@ -1,0 +1,191 @@
+"""The constraint graph underlying the pushdown-system encoding (Appendix D.1/D.2).
+
+Every proof in the normal form of Theorem B.1 is a chain of axioms glued by
+S-TRANS with S-FIELD applications wrapped around them.  Appendix D encodes
+these proofs as transition sequences of an unconstrained pushdown system; this
+module realizes the equivalent *forget/recall edge* formulation:
+
+* a node is a pair (derived type variable, variance tag);
+* each constraint ``A <= B`` contributes a covariant edge ``(A,+) -> (B,+)``
+  and its contravariant dual ``(B,-) -> (A,-)``;
+* for every derived type variable ``x.l`` present in the graph there is a
+  *forget* edge ``(x.l, v) -> (x, v*<l>)`` (push the label onto the pending
+  stack -- the ``push l`` of the StackOp weight domain of Appendix C) and a
+  *recall* edge ``(x, v*<l>) -> (x.l, v)`` (pop it back).
+
+A path through the graph is a valid derivation; the pending-label bookkeeping
+needed to read a subtype judgement off a path lives in :mod:`repro.core.simplify`.
+The saturation algorithm of Appendix D.3 (:mod:`repro.core.saturation`) adds
+shortcut edges so every derivable judgement is witnessed by a path whose
+forgets all precede its recalls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .constraints import ConstraintSet
+from .labels import Label, Variance
+from .variables import DerivedTypeVariable
+
+
+@dataclass(frozen=True, order=True)
+class Node:
+    """A derived type variable tagged with the current variance of its context."""
+
+    dtv: DerivedTypeVariable
+    variance: Variance
+
+    def __str__(self) -> str:
+        tag = "+" if self.variance is Variance.COVARIANT else "-"
+        return f"{self.dtv}.{tag}"
+
+    def flipped(self) -> "Node":
+        return Node(self.dtv, self.variance.flip())
+
+
+class EdgeKind(enum.Enum):
+    ORIGINAL = "original"      # a constraint axiom (an empty stack operation)
+    FORGET = "forget"          # push the final label onto the pending stack
+    RECALL = "recall"          # pop a pending label / extend the source variable
+    SATURATION = "saturation"  # shortcut added by Algorithm D.2
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    source: Node
+    target: Node
+    kind: EdgeKind
+    label: Optional[Label] = None
+
+    def __str__(self) -> str:
+        if self.label is not None:
+            return f"{self.source} --{self.kind.value} {self.label}--> {self.target}"
+        return f"{self.source} --{self.kind.value}--> {self.target}"
+
+    @property
+    def is_null(self) -> bool:
+        """True for edges that do not touch the pending label stack."""
+        return self.kind in (EdgeKind.ORIGINAL, EdgeKind.SATURATION)
+
+
+class ConstraintGraph:
+    """The finite graph whose paths encode derivations over a constraint set."""
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        extra_dtvs: Iterable[DerivedTypeVariable] = (),
+    ) -> None:
+        self.constraints = constraints
+        self.nodes: Set[Node] = set()
+        self._out: Dict[Node, List[Edge]] = {}
+        self._in: Dict[Node, List[Edge]] = {}
+        self._edge_set: Set[Edge] = set()
+
+        dtvs = set(constraints.derived_type_variables())
+        for dtv in extra_dtvs:
+            dtvs.add(dtv)
+            dtvs.update(dtv.prefixes())
+
+        for dtv in dtvs:
+            for variance in (Variance.COVARIANT, Variance.CONTRAVARIANT):
+                self._ensure_node(Node(dtv, variance))
+
+        for constraint in constraints:
+            left, right = constraint.left, constraint.right
+            self.add_edge(
+                Edge(
+                    Node(left, Variance.COVARIANT),
+                    Node(right, Variance.COVARIANT),
+                    EdgeKind.ORIGINAL,
+                )
+            )
+            self.add_edge(
+                Edge(
+                    Node(right, Variance.CONTRAVARIANT),
+                    Node(left, Variance.CONTRAVARIANT),
+                    EdgeKind.ORIGINAL,
+                )
+            )
+
+        for dtv in dtvs:
+            label = dtv.last_label
+            prefix = dtv.prefix
+            if label is None or prefix is None:
+                continue
+            for variance in (Variance.COVARIANT, Variance.CONTRAVARIANT):
+                inner = Node(dtv, variance)
+                outer = Node(prefix, variance * label.variance)
+                self.add_edge(Edge(inner, outer, EdgeKind.FORGET, label))
+                self.add_edge(Edge(outer, inner, EdgeKind.RECALL, label))
+
+    # -- mutation ------------------------------------------------------------------
+
+    def _ensure_node(self, node: Node) -> None:
+        if node not in self.nodes:
+            self.nodes.add(node)
+            self._out[node] = []
+            self._in[node] = []
+
+    def add_edge(self, edge: Edge) -> bool:
+        """Add an edge; returns True if it was not already present."""
+        if edge in self._edge_set:
+            return False
+        self._ensure_node(edge.source)
+        self._ensure_node(edge.target)
+        self._edge_set.add(edge)
+        self._out[edge.source].append(edge)
+        self._in[edge.target].append(edge)
+        return True
+
+    # -- queries ----------------------------------------------------------------------
+
+    def out_edges(self, node: Node) -> List[Edge]:
+        return list(self._out.get(node, ()))
+
+    def in_edges(self, node: Node) -> List[Edge]:
+        return list(self._in.get(node, ()))
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(sorted(self._edge_set, key=str))
+
+    def has_edge(
+        self,
+        source: Node,
+        target: Node,
+        kind: Optional[EdgeKind] = None,
+        label: Optional[Label] = None,
+    ) -> bool:
+        for edge in self._out.get(source, ()):
+            if edge.target != target:
+                continue
+            if kind is not None and edge.kind != kind:
+                continue
+            if label is not None and edge.label != label:
+                continue
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._edge_set)
+
+    def nodes_for_base(self, base: str) -> List[Node]:
+        return [node for node in self.nodes if node.dtv.base == base]
+
+    def to_dot(self, name: str = "constraints") -> str:
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        index = {node: i for i, node in enumerate(sorted(self.nodes, key=str))}
+        for node, i in index.items():
+            lines.append(f'  n{i} [label="{node}"];')
+        for edge in self.edges():
+            style = "dashed" if edge.kind is EdgeKind.SATURATION else "solid"
+            label = edge.kind.value if edge.label is None else f"{edge.kind.value} {edge.label}"
+            lines.append(
+                f'  n{index[edge.source]} -> n{index[edge.target]} '
+                f'[label="{label}", style={style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""The saturation algorithm (Algorithm D.2) with the lazy S-POINTER rule.
+
+Saturation adds shortcut "null" edges to the constraint graph so that every
+derivable subtype judgement is witnessed by a *reduced* path: one whose forget
+operations all precede its recall operations.  The algorithm maintains, for
+each node ``x``, a set ``R(x)`` of *reaching forgets*: pairs ``(l, origin)``
+recording that some path from ``origin`` to ``x`` has exactly one pending
+forgotten label ``l``.
+
+Rules (cf. Algorithm D.2):
+
+* a forget edge ``a --forget l--> b`` seeds ``(l, a)`` into ``R(b)``;
+* null edges propagate: ``R(target) >= R(source)``;
+* when ``x --recall l--> y`` exists and ``(l, origin)`` is in ``R(x)``, the
+  pending label can be discharged: add the shortcut edge ``origin --> y``;
+* the lazy S-POINTER rule: at a *contravariant* node ``(d, -)``, a pending
+  ``.store`` may be replaced by a pending ``.load`` on the covariant twin
+  ``(d, +)`` and vice versa.  This simulates the infinitely many
+  ``d.store <= d.load`` axioms without instantiating them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .graph import ConstraintGraph, Edge, EdgeKind, Node
+from .labels import LOAD, STORE, Label, Variance
+
+
+def saturate(graph: ConstraintGraph, max_iterations: int = 10_000) -> int:
+    """Saturate ``graph`` in place; returns the number of shortcut edges added."""
+    reaching: Dict[Node, Set[Tuple[Label, Node]]] = {node: set() for node in graph.nodes}
+
+    # Seed from forget edges.
+    for edge in list(graph.edges()):
+        if edge.kind is EdgeKind.FORGET and edge.label is not None:
+            reaching[edge.target].add((edge.label, edge.source))
+
+    added = 0
+    changed = True
+    iterations = 0
+    while changed:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - defensive guard
+            raise RuntimeError("saturation did not converge")
+        changed = False
+
+        # Propagate reaching-forget sets along null edges.
+        for node in graph.nodes:
+            for edge in graph.out_edges(node):
+                if not edge.is_null:
+                    continue
+                target_set = reaching.setdefault(edge.target, set())
+                source_set = reaching.setdefault(node, set())
+                before = len(target_set)
+                target_set |= source_set
+                if len(target_set) != before:
+                    changed = True
+
+        # Lazy S-POINTER: swap pending store/load between the contravariant node
+        # and its covariant twin.
+        for node in list(graph.nodes):
+            if node.variance is not Variance.CONTRAVARIANT:
+                continue
+            twin = Node(node.dtv, Variance.COVARIANT)
+            twin_set = reaching.setdefault(twin, set())
+            for label, origin in list(reaching.get(node, ())):
+                swapped = None
+                if label == STORE:
+                    swapped = LOAD
+                elif label == LOAD:
+                    swapped = STORE
+                if swapped is None:
+                    continue
+                entry = (swapped, origin)
+                if entry not in twin_set:
+                    twin_set.add(entry)
+                    changed = True
+
+        # Discharge pending forgets at recall edges by adding shortcut edges.
+        for node in list(graph.nodes):
+            for edge in graph.out_edges(node):
+                if edge.kind is not EdgeKind.RECALL or edge.label is None:
+                    continue
+                for label, origin in list(reaching.get(node, ())):
+                    if label != edge.label:
+                        continue
+                    new_edge = Edge(origin, edge.target, EdgeKind.SATURATION)
+                    if graph.add_edge(new_edge):
+                        reaching.setdefault(edge.target, set())
+                        added += 1
+                        changed = True
+    return added
+
+
+def saturated(graph: ConstraintGraph) -> ConstraintGraph:
+    """Convenience wrapper returning the (same, mutated) saturated graph."""
+    saturate(graph)
+    return graph

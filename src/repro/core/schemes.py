@@ -1,0 +1,100 @@
+"""Polymorphic type schemes (Definition 3.4) and their callsite instantiation.
+
+A type scheme for a procedure ``f`` has the shape ``forall f. (exists t1..tn) C => f``
+where ``C`` is a constraint set over the procedure's formal derived type
+variables (``f.in_stack0``, ``f.out_eax``, ...), type constants, and a small
+number of existential variables synthesized to express recursive structure
+(Appendix H / Figure 2).
+
+Instantiating a scheme at a callsite renames the procedure variable with a
+callsite tag and gives every existential a fresh name, realizing the
+let-polymorphism of Appendix A.4: distinct calls to the same procedure are
+typed independently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from .constraints import ConstraintSet
+from .variables import DerivedTypeVariable
+
+_instantiation_counter = itertools.count()
+
+
+@dataclass
+class TypeScheme:
+    """``forall proc. (exists quantified) constraints => proc``."""
+
+    proc: str
+    constraints: ConstraintSet
+    quantified: FrozenSet[str] = frozenset()
+    formal_ins: Tuple[DerivedTypeVariable, ...] = ()
+    formal_outs: Tuple[DerivedTypeVariable, ...] = ()
+
+    def instantiate(self, tag: str) -> Tuple[str, ConstraintSet]:
+        """Return (instantiated procedure variable name, instantiated constraints).
+
+        The procedure variable and every quantified variable are renamed with a
+        fresh, callsite-specific suffix so that multiple calls do not interact
+        (Example A.4).
+        """
+        unique = next(_instantiation_counter)
+        mapping: Dict[str, str] = {self.proc: f"{self.proc}${tag}"}
+        for var in self.quantified:
+            mapping[var] = f"{var}${tag}.{unique}"
+        return mapping[self.proc], self.constraints.substitute(mapping)
+
+    def instantiate_as(self, base: str) -> ConstraintSet:
+        """Instantiate the scheme with the procedure variable renamed to ``base``.
+
+        Used at callsites: the caller's constraint generator picks a unique
+        base name for each callsite (e.g. ``close$0x804843f``) and the solver
+        splices in the callee's constraints under that name.  Existential
+        variables still receive fresh names so separate instantiations never
+        interfere.
+        """
+        unique = next(_instantiation_counter)
+        mapping: Dict[str, str] = {self.proc: base}
+        for var in self.quantified:
+            mapping[var] = f"{var}${unique}"
+        return self.constraints.substitute(mapping)
+
+    def instantiate_monomorphic(self, base: str) -> ConstraintSet:
+        """Instantiate without freshening the existential variables.
+
+        Every callsite then shares the same internal variables, which collapses
+        all calls of the function onto a single monomorphic type.  This is the
+        behaviour of the unification-based baselines (SecondWrite/REWARDS) and
+        of TIE, and it is exactly the over-unification hazard described in
+        section 2.5.
+        """
+        mapping: Dict[str, str] = {self.proc: base}
+        return self.constraints.substitute(mapping)
+
+    def instantiated_formals(
+        self, tag: str
+    ) -> Tuple[str, ConstraintSet, Tuple[DerivedTypeVariable, ...], Tuple[DerivedTypeVariable, ...]]:
+        """Instantiate and also return the renamed formal in/out variables."""
+        name, constraints = self.instantiate(tag)
+        ins = tuple(dtv.with_base(name) for dtv in self.formal_ins)
+        outs = tuple(dtv.with_base(name) for dtv in self.formal_outs)
+        return name, constraints, ins, outs
+
+    def is_trivial(self) -> bool:
+        return len(self.constraints) == 0
+
+    def __str__(self) -> str:
+        quantifier = f"∀{self.proc}."
+        existentials = ""
+        if self.quantified:
+            existentials = " ∃" + ",".join(sorted(self.quantified)) + "."
+        body = "\n  ".join(str(c) for c in self.constraints) or "true"
+        return f"{quantifier}{existentials}\n  {body}\n⇒ {self.proc}"
+
+
+def monomorphic_scheme(proc: str, constraints: Optional[ConstraintSet] = None) -> TypeScheme:
+    """A scheme with no constraints (used for unknown external functions)."""
+    return TypeScheme(proc=proc, constraints=constraints or ConstraintSet())

@@ -1,0 +1,213 @@
+"""Constraint-set simplification (section 5) over the saturated constraint graph.
+
+After saturation every derivable judgement ``A.u <= B.v`` is witnessed by a
+path through the constraint graph.  Walking a path while tracking
+
+* ``alpha`` -- labels appended to the *source* variable (recall edges taken
+  with an empty pending stack), and
+* ``beta`` -- the pending stack of forgotten labels (forget edges push, recall
+  edges pop),
+
+lets us read the judgement off the endpoints: the left-hand side is
+``source.alpha``, the right-hand side is ``end.reverse(beta)``, and the
+orientation flips when ``alpha`` is contravariant (see DESIGN.md section 5 for
+the invariant).
+
+``simplify_constraints`` enumerates elementary paths -- paths whose interior
+nodes mention only *uninteresting* variables (Definition D.1) -- between
+interesting variables and returns the resulting constraint set.  This is the
+constraint simplification used to build procedure type schemes: it eliminates
+procedure-local temporaries while preserving every interesting consequence.
+
+``derive_constant_bounds`` performs the Appendix D.4 queries: which derived
+type variables are bounded above/below by which type constants.  The solver
+uses it to decorate sketch nodes with lattice elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .constraints import ConstraintSet, SubtypeConstraint
+from .graph import ConstraintGraph, Edge, EdgeKind, Node
+from .labels import Label, Variance, path_variance
+from .lattice import TypeLattice
+from .saturation import saturate
+from .variables import DerivedTypeVariable
+
+
+@dataclass(frozen=True)
+class _PathState:
+    node: Node
+    alpha: Tuple[Label, ...]
+    beta: Tuple[Label, ...]
+
+
+def _step(state: _PathState, edge: Edge) -> Optional[_PathState]:
+    """Apply one edge to the bookkeeping state; ``None`` when the path is invalid."""
+    if edge.is_null:
+        return _PathState(edge.target, state.alpha, state.beta)
+    if edge.kind is EdgeKind.FORGET:
+        return _PathState(edge.target, state.alpha, state.beta + (edge.label,))
+    # Recall edge.
+    if state.beta:
+        if state.beta[-1] != edge.label:
+            return None
+        return _PathState(edge.target, state.alpha, state.beta[:-1])
+    return _PathState(edge.target, state.alpha + (edge.label,), state.beta)
+
+
+def _constraint_from_state(
+    source: Node, state: _PathState
+) -> Optional[SubtypeConstraint]:
+    """Read the subtype judgement witnessed by a finished path."""
+    lhs = source.dtv.with_labels(state.alpha)
+    rhs = state.node.dtv.with_labels(tuple(reversed(state.beta)))
+    orientation = source.variance * path_variance(state.alpha)
+    if orientation is Variance.COVARIANT:
+        constraint = SubtypeConstraint(lhs, rhs)
+    else:
+        constraint = SubtypeConstraint(rhs, lhs)
+    if constraint.left == constraint.right:
+        return None
+    return constraint
+
+
+def simplify_constraints(
+    constraints: ConstraintSet,
+    interesting: Iterable[str],
+    graph: Optional[ConstraintGraph] = None,
+    max_label_depth: int = 6,
+    max_paths: int = 200_000,
+) -> ConstraintSet:
+    """Compute a simplification of ``constraints`` relative to ``interesting`` bases.
+
+    Every *interesting* consequence of ``constraints`` (Definition 5.1) whose
+    derivation stays within the label-depth bound is entailed by the returned
+    constraint set.  Interior variables (temporaries) are eliminated.
+    """
+    interesting_bases = set(interesting)
+    if graph is None:
+        graph = ConstraintGraph(constraints)
+        saturate(graph)
+
+    output = ConstraintSet()
+    start_nodes = [
+        node
+        for node in sorted(graph.nodes, key=str)
+        if node.dtv.base in interesting_bases
+    ]
+
+    budget = [max_paths]
+
+    def explore(source: Node, state: _PathState, visited: Set[Node]) -> None:
+        if budget[0] <= 0:
+            return
+        for edge in graph.out_edges(state.node):
+            next_state = _step(state, edge)
+            if next_state is None:
+                continue
+            if len(next_state.alpha) > max_label_depth:
+                continue
+            if len(next_state.beta) > max_label_depth:
+                continue
+            target = next_state.node
+            if target.dtv.base in interesting_bases:
+                budget[0] -= 1
+                constraint = _constraint_from_state(source, next_state)
+                if constraint is not None:
+                    output.add(constraint)
+                continue  # elementary proofs stop at interesting variables
+            if target in visited:
+                continue
+            visited.add(target)
+            explore(source, next_state, visited)
+            visited.discard(target)
+
+    for source in start_nodes:
+        initial = _PathState(source, (), ())
+        explore(source, initial, {source})
+
+    return output
+
+
+def proves(
+    constraints: ConstraintSet,
+    goal: SubtypeConstraint,
+    max_label_depth: int = 6,
+) -> bool:
+    """Does the pushdown machinery derive ``goal`` from ``constraints``?
+
+    Convenience wrapper used heavily in tests: simplification relative to the
+    two endpoint bases must contain the goal.
+    """
+    bases = {goal.left.base, goal.right.base}
+    simplified = simplify_constraints(
+        constraints, bases, max_label_depth=max_label_depth
+    )
+    return goal in simplified.subtype
+
+
+# ---------------------------------------------------------------------------
+# Constant-bound queries (Appendix D.4)
+# ---------------------------------------------------------------------------
+
+
+def derive_constant_bounds(
+    graph: ConstraintGraph,
+    lattice: TypeLattice,
+    max_pending: int = 6,
+    max_states: int = 100_000,
+) -> List[Tuple[DerivedTypeVariable, str, str]]:
+    """Enumerate judgements ``const <= dtv`` and ``dtv <= const``.
+
+    Returns triples ``(dtv, kind, constant)`` where ``kind`` is ``"lower"``
+    (the constant flows into the variable) or ``"upper"`` (the variable flows
+    into the constant).  The traversal explores the saturated graph from every
+    type-constant node, tracking the pending label stack so the judgement's
+    variable side can be reconstructed; recursion is kept finite by bounding
+    the pending depth and the number of visited states.
+    """
+    results: List[Tuple[DerivedTypeVariable, str, str]] = []
+    seen_results: Set[Tuple[DerivedTypeVariable, str, str]] = set()
+
+    constant_nodes = [
+        node
+        for node in graph.nodes
+        if node.dtv.is_base and lattice.is_constant(node.dtv.base)
+    ]
+
+    for start in constant_nodes:
+        kind = "lower" if start.variance is Variance.COVARIANT else "upper"
+        constant = start.dtv.base
+        visited: Set[Tuple[Node, Tuple[Label, ...]]] = set()
+        stack: List[Tuple[Node, Tuple[Label, ...]]] = [(start, ())]
+        states = 0
+        while stack and states < max_states:
+            node, beta = stack.pop()
+            if (node, beta) in visited:
+                continue
+            visited.add((node, beta))
+            states += 1
+            for edge in graph.out_edges(node):
+                if edge.kind is EdgeKind.FORGET:
+                    if len(beta) >= max_pending:
+                        continue
+                    new_beta = beta + (edge.label,)
+                elif edge.kind is EdgeKind.RECALL:
+                    if not beta or beta[-1] != edge.label:
+                        continue  # constants have no capabilities of their own
+                    new_beta = beta[:-1]
+                else:
+                    new_beta = beta
+                target = edge.target
+                dtv = target.dtv.with_labels(tuple(reversed(new_beta)))
+                if not (dtv.is_base and lattice.is_constant(dtv.base)):
+                    entry = (dtv, kind, constant)
+                    if entry not in seen_results:
+                        seen_results.add(entry)
+                        results.append(entry)
+                if (target, new_beta) not in visited:
+                    stack.append((target, new_beta))
+    return results

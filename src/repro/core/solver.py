@@ -1,0 +1,494 @@
+"""The type-inference driver: INFERPROCTYPES / SOLVE over call-graph SCCs.
+
+This module glues the pieces of the core together, following Algorithms F.1
+and F.2:
+
+1. Strongly-connected components of the call graph are processed bottom-up.
+2. For every SCC the per-procedure constraint sets are combined; callsites to
+   already-processed procedures instantiate the callee's *type scheme* with a
+   callsite tag (polymorphism), calls within the SCC are linked monomorphically.
+3. The combined constraint set is solved: shapes via the Steensgaard quotient
+   (Theorem 3.1), lattice decorations via the saturated constraint graph
+   (Appendix D.4).
+4. Each procedure's formal-in/out sketches are read off the solution and
+   serialized back into a compact type scheme (Figure 2 / Appendix H) to be
+   instantiated by the procedure's callers.
+
+The solver is intentionally independent of the machine-code IR: its input is a
+:class:`ProcedureTypingInput` per procedure (constraints + formal variables +
+callsite descriptors), which the :mod:`repro.typegen` package produces from
+disassembly and which tests can construct by hand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .constraints import ConstraintSet, SubtypeConstraint
+from .graph import ConstraintGraph
+from .labels import InLabel, Label, OutLabel, Variance, path_variance
+from .lattice import BOTTOM, TOP, TypeLattice, default_lattice
+from .saturation import saturate
+from .schemes import TypeScheme
+from .shapes import ShapeInference, infer_shapes
+from .simplify import derive_constant_bounds
+from .sketches import Sketch
+from .variables import DerivedTypeVariable
+
+
+@dataclass(frozen=True)
+class Callsite:
+    """One call instruction: the callee's name and the base variable used for it."""
+
+    callee: str
+    base: str
+
+
+@dataclass
+class ProcedureTypingInput:
+    """Everything the solver needs to know about one procedure."""
+
+    name: str
+    constraints: ConstraintSet
+    formal_ins: Tuple[DerivedTypeVariable, ...] = ()
+    formal_outs: Tuple[DerivedTypeVariable, ...] = ()
+    callsites: Tuple[Callsite, ...] = ()
+
+
+@dataclass
+class ProcedureResult:
+    """Inference output for one procedure."""
+
+    name: str
+    scheme: TypeScheme
+    formal_in_sketches: Dict[DerivedTypeVariable, Sketch] = dc_field(default_factory=dict)
+    formal_out_sketches: Dict[DerivedTypeVariable, Sketch] = dc_field(default_factory=dict)
+    shapes: Optional[ShapeInference] = None
+
+    def sketch_for(self, dtv: DerivedTypeVariable) -> Optional[Sketch]:
+        if dtv in self.formal_in_sketches:
+            return self.formal_in_sketches[dtv]
+        if dtv in self.formal_out_sketches:
+            return self.formal_out_sketches[dtv]
+        if self.shapes is not None and self.shapes.lookup(dtv) is not None:
+            return self.shapes.sketch_for(dtv)
+        return None
+
+
+@dataclass
+class SolverConfig:
+    """Tunable knobs for the inference pipeline."""
+
+    #: use the saturated-graph queries of Appendix D.4 for lattice decorations
+    #: (direction-aware); when False, the coarser per-class bounds of the
+    #: Steensgaard quotient are kept.
+    precise_bounds: bool = True
+    #: maximum label depth explored when serializing schemes.
+    max_scheme_depth: int = 6
+    #: run the REFINEPARAMETERS specialization pass (Algorithm F.3).
+    refine_parameters: bool = True
+    #: instantiate callee schemes polymorphically (fresh existentials per
+    #: callsite).  The unification/TIE baselines set this to False.
+    polymorphic: bool = True
+
+
+class Solver:
+    """Whole-program type inference over a set of procedures."""
+
+    def __init__(
+        self,
+        lattice: Optional[TypeLattice] = None,
+        extern_schemes: Optional[Mapping[str, TypeScheme]] = None,
+        config: Optional[SolverConfig] = None,
+    ) -> None:
+        self.lattice = lattice or default_lattice()
+        self.extern_schemes: Dict[str, TypeScheme] = dict(extern_schemes or {})
+        self.config = config or SolverConfig()
+        #: statistics collected during the last solve (for the scaling figures)
+        self.stats: Dict[str, float] = {}
+
+    # -- public API ---------------------------------------------------------------------
+
+    def solve_program(
+        self, procedures: Mapping[str, ProcedureTypingInput]
+    ) -> Dict[str, ProcedureResult]:
+        """Infer type schemes and sketches for every procedure."""
+        order = self._scc_order(procedures)
+        results: Dict[str, ProcedureResult] = {}
+        constraint_count = 0
+        for scc in order:
+            scc_results = self._solve_scc(scc, procedures, results)
+            results.update(scc_results)
+            for name in scc:
+                constraint_count += len(procedures[name].constraints)
+        self.stats["constraints"] = constraint_count
+        self.stats["procedures"] = len(procedures)
+        if self.config.refine_parameters:
+            self._refine_parameters(procedures, results)
+        return results
+
+    def solve_single(self, procedure: ProcedureTypingInput) -> ProcedureResult:
+        """Convenience wrapper for a standalone procedure."""
+        return self.solve_program({procedure.name: procedure})[procedure.name]
+
+    # -- call graph ----------------------------------------------------------------------
+
+    def _scc_order(
+        self, procedures: Mapping[str, ProcedureTypingInput]
+    ) -> List[List[str]]:
+        """Bottom-up (callee-first) list of SCCs of the call graph."""
+        edges: Dict[str, Set[str]] = {name: set() for name in procedures}
+        for name, proc in procedures.items():
+            for callsite in proc.callsites:
+                if callsite.callee in procedures:
+                    edges[name].add(callsite.callee)
+        return tarjan_sccs(edges)
+
+    # -- per-SCC solving -----------------------------------------------------------------------
+
+    def _solve_scc(
+        self,
+        scc: Sequence[str],
+        procedures: Mapping[str, ProcedureTypingInput],
+        results: Mapping[str, ProcedureResult],
+    ) -> Dict[str, ProcedureResult]:
+        scc_set = set(scc)
+        combined = ConstraintSet()
+        for name in scc:
+            proc = procedures[name]
+            combined.update(proc.constraints)
+            for callsite in proc.callsites:
+                combined.update(
+                    self._callsite_constraints(callsite, scc_set, procedures, results)
+                )
+
+        shapes, graph = self._solve_constraints(combined)
+
+        out: Dict[str, ProcedureResult] = {}
+        for name in scc:
+            proc = procedures[name]
+            scheme = scheme_from_shapes(
+                proc, shapes, self.lattice, max_depth=self.config.max_scheme_depth
+            )
+            in_sketches = {
+                dtv: shapes.sketch_for(dtv)
+                for dtv in proc.formal_ins
+                if shapes.lookup(dtv) is not None
+            }
+            out_sketches = {
+                dtv: shapes.sketch_for(dtv)
+                for dtv in proc.formal_outs
+                if shapes.lookup(dtv) is not None
+            }
+            out[name] = ProcedureResult(
+                name=name,
+                scheme=scheme,
+                formal_in_sketches=in_sketches,
+                formal_out_sketches=out_sketches,
+                shapes=shapes,
+            )
+        return out
+
+    def _callsite_constraints(
+        self,
+        callsite: Callsite,
+        scc_set: Set[str],
+        procedures: Mapping[str, ProcedureTypingInput],
+        results: Mapping[str, ProcedureResult],
+    ) -> ConstraintSet:
+        """Constraints contributed by one callsite (scheme instantiation)."""
+        out = ConstraintSet()
+        callee = callsite.callee
+        if callee in results:
+            if self.config.polymorphic:
+                out.update(results[callee].scheme.instantiate_as(callsite.base))
+            else:
+                out.update(results[callee].scheme.instantiate_monomorphic(callsite.base))
+        elif callee in scc_set:
+            # Monomorphic link within a recursive SCC: identify the callsite
+            # base with the callee's own variable.
+            here = DerivedTypeVariable(callsite.base)
+            there = DerivedTypeVariable(callee)
+            out.add_subtype(here, there)
+            out.add_subtype(there, here)
+        elif callee in self.extern_schemes:
+            scheme = self.extern_schemes[callee]
+            if self.config.polymorphic:
+                out.update(scheme.instantiate_as(callsite.base))
+            else:
+                out.update(scheme.instantiate_monomorphic(callsite.base))
+        # Unknown externals contribute nothing.
+        return out
+
+    def _solve_constraints(
+        self, constraints: ConstraintSet
+    ) -> Tuple[ShapeInference, Optional[ConstraintGraph]]:
+        shapes = infer_shapes(constraints, self.lattice)
+        graph: Optional[ConstraintGraph] = None
+        if self.config.precise_bounds:
+            graph = ConstraintGraph(constraints)
+            saturate(graph)
+            shapes.clear_bounds()
+            for dtv, kind, constant in derive_constant_bounds(graph, self.lattice):
+                cell = shapes.lookup(dtv)
+                if cell is None:
+                    continue
+                if kind == "lower":
+                    shapes.apply_lower(cell, constant)
+                else:
+                    shapes.apply_upper(cell, constant)
+        return shapes, graph
+
+    # -- REFINEPARAMETERS (Algorithm F.3) ------------------------------------------------------
+
+    def _refine_parameters(
+        self,
+        procedures: Mapping[str, ProcedureTypingInput],
+        results: Dict[str, ProcedureResult],
+    ) -> None:
+        """Specialize formal sketches to the most specific use seen at callsites."""
+        # Collect actual-in / actual-out sketches per callee formal.
+        actual_ins: Dict[Tuple[str, DerivedTypeVariable], List[Sketch]] = {}
+        actual_outs: Dict[Tuple[str, DerivedTypeVariable], List[Sketch]] = {}
+        for caller_name, caller in procedures.items():
+            caller_result = results.get(caller_name)
+            if caller_result is None or caller_result.shapes is None:
+                continue
+            for callsite in caller.callsites:
+                callee_result = results.get(callsite.callee)
+                if callee_result is None:
+                    continue
+                shapes = caller_result.shapes
+                for formal in callee_result.formal_in_sketches:
+                    actual = formal.with_base(callsite.base)
+                    if shapes.lookup(actual) is not None:
+                        actual_ins.setdefault((callsite.callee, formal), []).append(
+                            shapes.sketch_for(actual)
+                        )
+                for formal in callee_result.formal_out_sketches:
+                    actual = formal.with_base(callsite.base)
+                    if shapes.lookup(actual) is not None:
+                        actual_outs.setdefault((callsite.callee, formal), []).append(
+                            shapes.sketch_for(actual)
+                        )
+
+        for (callee, formal), sketches in actual_ins.items():
+            result = results[callee]
+            current = result.formal_in_sketches.get(formal)
+            if current is None or not sketches:
+                continue
+            joined = sketches[0]
+            for sketch in sketches[1:]:
+                joined = joined.join(sketch)
+            result.formal_in_sketches[formal] = current.meet(joined)
+        for (callee, formal), sketches in actual_outs.items():
+            result = results[callee]
+            current = result.formal_out_sketches.get(formal)
+            if current is None or not sketches:
+                continue
+            met = sketches[0]
+            for sketch in sketches[1:]:
+                met = met.meet(sketch)
+            result.formal_out_sketches[formal] = current.join(met)
+
+
+# ---------------------------------------------------------------------------
+# Scheme serialization (Figure 2 / Appendix H)
+# ---------------------------------------------------------------------------
+
+
+def scheme_from_shapes(
+    procedure: ProcedureTypingInput,
+    shapes: ShapeInference,
+    lattice: TypeLattice,
+    max_depth: int = 6,
+) -> TypeScheme:
+    """Serialize the solved shapes of a procedure's formals into a type scheme.
+
+    Existential variables are introduced for sketch nodes that are shared
+    (in-degree >= 2) or recursive, which yields exactly the compact presentation
+    of Figure 2: ``F.in_stack0 <= t``, ``t.load.sigma32@0 <= t``, bounds on the
+    remaining paths.
+    """
+    constraints = ConstraintSet()
+    quantified: Set[str] = set()
+
+    formals: List[Tuple[DerivedTypeVariable, Variance]] = []
+    for dtv in procedure.formal_ins:
+        formals.append((dtv, Variance.CONTRAVARIANT))
+    for dtv in procedure.formal_outs:
+        formals.append((dtv, Variance.COVARIANT))
+
+    roots: Dict[DerivedTypeVariable, int] = {}
+    for dtv, _ in formals:
+        cell = shapes.lookup(dtv)
+        if cell is not None:
+            roots[dtv] = cell
+
+    # Determine which classes are reachable and which need existential names.
+    reachable: Set[int] = set()
+    worklist = list(roots.values())
+    while worklist:
+        cell = worklist.pop()
+        if cell in reachable:
+            continue
+        reachable.add(cell)
+        for target in shapes.capabilities(cell).values():
+            worklist.append(target)
+
+    indegree: Dict[int, int] = {cell: 0 for cell in reachable}
+    cyclic: Set[int] = set()
+    for cell in reachable:
+        for target in shapes.capabilities(cell).values():
+            if target in indegree:
+                indegree[target] += 1
+            if target == cell:
+                cyclic.add(cell)
+    cyclic |= _cyclic_classes(shapes, reachable)
+
+    # A class shared between several formals, or reachable both as a formal
+    # root and through a capability path, must be named so the sharing is
+    # expressible in the serialized constraints (e.g. ``id.in <= t <= id.out``).
+    root_count: Dict[int, int] = {}
+    for cell in roots.values():
+        root_count[cell] = root_count.get(cell, 0) + 1
+
+    needs_var = {
+        cell
+        for cell in reachable
+        if cell in cyclic
+        or indegree.get(cell, 0) + root_count.get(cell, 0) >= 2
+    }
+    var_names: Dict[int, str] = {}
+    counter = itertools.count()
+    for cell in sorted(needs_var):
+        var_names[cell] = f"τ{next(counter)}"
+        quantified.add(var_names[cell])
+
+    def bounds_constraints(expr: DerivedTypeVariable, cell: int) -> bool:
+        lower, upper = shapes.bounds(cell)
+        emitted = False
+        if lower != BOTTOM:
+            constraints.add_subtype(DerivedTypeVariable(lower), expr)
+            emitted = True
+        if upper != TOP:
+            constraints.add_subtype(expr, DerivedTypeVariable(upper))
+            emitted = True
+        return emitted
+
+    def emit_from(expr: DerivedTypeVariable, cell: int, depth: int, seen: Set[int]) -> None:
+        emitted = bounds_constraints(expr, cell)
+        if depth >= max_depth:
+            return
+        children = sorted(shapes.capabilities(cell).items(), key=lambda kv: str(kv[0]))
+        if not children and not emitted and expr.labels:
+            # Record the bare capability so the path is preserved by callers
+            # (an unconstrained leaf still asserts VAR expr).
+            constraints.add_subtype(expr, DerivedTypeVariable(TOP))
+            return
+        for label, target in children:
+            child_expr = expr.with_label(label)
+            if target in var_names:
+                var_dtv = DerivedTypeVariable(var_names[target])
+                if path_variance(child_expr.labels) is Variance.COVARIANT:
+                    constraints.add_subtype(child_expr, var_dtv)
+                else:
+                    constraints.add_subtype(var_dtv, child_expr)
+                continue
+            if target in seen:
+                continue
+            emit_from(child_expr, target, depth + 1, seen | {target})
+
+    # Formals first: either link to their existential or expand inline.
+    for dtv, variance in formals:
+        cell = roots.get(dtv)
+        if cell is None:
+            continue
+        if cell in var_names:
+            var_dtv = DerivedTypeVariable(var_names[cell])
+            if variance is Variance.CONTRAVARIANT:
+                constraints.add_subtype(dtv, var_dtv)
+            else:
+                constraints.add_subtype(var_dtv, dtv)
+        else:
+            emit_from(dtv, cell, 0, {cell})
+
+    # Then each existential variable's own structure.
+    for cell, name in sorted(var_names.items()):
+        emit_from(DerivedTypeVariable(name), cell, 0, {cell})
+
+    return TypeScheme(
+        proc=procedure.name,
+        constraints=constraints,
+        quantified=frozenset(quantified),
+        formal_ins=tuple(procedure.formal_ins),
+        formal_outs=tuple(procedure.formal_outs),
+    )
+
+
+def _cyclic_classes(shapes: ShapeInference, reachable: Set[int]) -> Set[int]:
+    """Classes that participate in a cycle of the quotient graph (restricted)."""
+    # Iterative Tarjan over the restricted graph.
+    edges = {
+        cell: [t for t in shapes.capabilities(cell).values() if t in reachable]
+        for cell in reachable
+    }
+    sccs = tarjan_sccs(edges)
+    cyclic: Set[int] = set()
+    for component in sccs:
+        if len(component) > 1:
+            cyclic.update(component)
+        elif component and component[0] in edges.get(component[0], []):
+            cyclic.add(component[0])
+    return cyclic
+
+
+def tarjan_sccs(edges: Mapping) -> List[List]:
+    """Iterative Tarjan SCC; returns components in callee-first (reverse topological) order."""
+    index_counter = itertools.count()
+    indices: Dict = {}
+    lowlink: Dict = {}
+    on_stack: Set = set()
+    stack: List = []
+    result: List[List] = []
+
+    for root in edges:
+        if root in indices:
+            continue
+        work = [(root, iter(list(edges.get(root, ()))))]
+        indices[root] = lowlink[root] = next(index_counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, iterator = work[-1]
+            advanced = False
+            for successor in iterator:
+                if successor not in edges:
+                    continue
+                if successor not in indices:
+                    indices[successor] = lowlink[successor] = next(index_counter)
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(list(edges.get(successor, ())))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result

@@ -1,0 +1,69 @@
+"""Evaluation: metrics, synthetic benchmark suites, harness, scaling fits."""
+
+from .metrics import (
+    ProgramMetrics,
+    VariableComparison,
+    aggregate,
+    evaluate_program,
+    interval_size_from_sketch,
+    is_conservative,
+    pointer_accuracy,
+    type_distance,
+)
+from .workloads import (
+    SourceGenerator,
+    Workload,
+    generate_program_source,
+    make_cluster,
+    make_workload,
+    scaling_suite,
+    standard_suite,
+)
+from .harness import (
+    EngineReport,
+    compare_engines,
+    figure8_rows,
+    figure9_rows,
+    figure10_rows,
+    format_rows,
+    run_engine,
+)
+from .scaling import (
+    PowerLawFit,
+    ScalingPoint,
+    figure11_fit,
+    figure12_fit,
+    fit_power_law,
+    measure_scaling,
+)
+
+__all__ = [
+    "EngineReport",
+    "PowerLawFit",
+    "ProgramMetrics",
+    "ScalingPoint",
+    "SourceGenerator",
+    "VariableComparison",
+    "Workload",
+    "aggregate",
+    "compare_engines",
+    "evaluate_program",
+    "figure10_rows",
+    "figure11_fit",
+    "figure12_fit",
+    "figure8_rows",
+    "figure9_rows",
+    "fit_power_law",
+    "format_rows",
+    "generate_program_source",
+    "interval_size_from_sketch",
+    "is_conservative",
+    "make_cluster",
+    "make_workload",
+    "measure_scaling",
+    "pointer_accuracy",
+    "run_engine",
+    "scaling_suite",
+    "standard_suite",
+    "type_distance",
+]

@@ -1,0 +1,555 @@
+"""Evaluation metrics: the TIE metrics, pointer accuracy, and const recall.
+
+The paper evaluates with the metric suite introduced by TIE (Lee et al.) plus
+SecondWrite's multi-level pointer accuracy and its own const-recall figure:
+
+* **distance** -- a 0..4 lattice distance between the displayed type and the
+  ground-truth type (0 = exact, 4 = nothing in common), with the recursive
+  treatment of pointers and structures;
+* **interval size** -- how wide the gap between the inferred upper and lower
+  bound is (0 = pinned exactly, 4 = completely unconstrained);
+* **conservativeness** -- whether the inferred type over-approximates the
+  ground truth (claims nothing that is false);
+* **multi-level pointer accuracy** -- for ground-truth pointers, how many
+  levels of pointer structure were recovered;
+* **const recall** -- how many pointer parameters declared ``const`` in the
+  source were annotated ``const`` by the inference (section 6.4).
+
+Inferred types are compared at function boundaries (parameters and return
+values), matched to ground truth by calling-convention location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.ctype import (
+    BoolType,
+    CType,
+    CodeType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructField,
+    StructRef,
+    StructType,
+    TypedefType,
+    UnionType,
+    UnknownType,
+    VoidType,
+)
+from ..core.labels import InLabel
+from ..core.lattice import BOTTOM, TOP
+from ..core.sketches import Sketch
+from ..core.variables import DerivedTypeVariable
+from ..frontend import FunctionGroundTruth, GroundTruth
+from ..pipeline import FunctionTypes, ProgramTypes
+
+MAX_DISTANCE = 4.0
+
+
+def _resolve(ctype: CType, structs: Mapping[str, StructType]) -> CType:
+    """Strip typedefs and resolve struct references against a struct table."""
+    seen = 0
+    while True:
+        if isinstance(ctype, TypedefType):
+            ctype = ctype.underlying
+        elif isinstance(ctype, StructRef) and ctype.name in structs and seen < 4:
+            ctype = structs[ctype.name]
+            seen += 1
+        else:
+            return ctype
+
+
+def type_distance(
+    inferred: Optional[CType],
+    truth: CType,
+    inferred_structs: Mapping[str, StructType] = {},
+    truth_structs: Mapping[str, StructType] = {},
+    depth: int = 0,
+) -> float:
+    """The TIE-style distance between an inferred type and the ground truth."""
+    if depth > 4:
+        return 0.0
+    if inferred is None:
+        return MAX_DISTANCE
+    a = _resolve(inferred, inferred_structs)
+    b = _resolve(truth, truth_structs)
+
+    if isinstance(a, UnionType):
+        return min(
+            type_distance(member, truth, inferred_structs, truth_structs, depth)
+            for member in a.members
+        ) + 0.5
+
+    if isinstance(a, UnknownType) or isinstance(a, VoidType):
+        # Nothing was claimed: maximal uncertainty but not maximal error.
+        return 2.0 if not isinstance(b, (UnknownType, VoidType)) else 0.0
+
+    if isinstance(b, PointerType):
+        if isinstance(a, PointerType):
+            return 0.5 * type_distance(
+                a.pointee, b.pointee, inferred_structs, truth_structs, depth + 1
+            )
+        if isinstance(a, (StructType, StructRef)):
+            return 1.5
+        return 2.5  # claimed a scalar where the truth is a pointer
+
+    if isinstance(b, (StructType, StructRef)):
+        b_struct = _resolve(b, truth_structs)
+        if isinstance(a, (StructType, StructRef)):
+            a_struct = _resolve(a, inferred_structs)
+            if isinstance(a_struct, StructType) and isinstance(b_struct, StructType):
+                return _struct_distance(
+                    a_struct, b_struct, inferred_structs, truth_structs, depth
+                )
+            return 1.0
+        if isinstance(a, PointerType):
+            return 1.5
+        return 2.5
+
+    if isinstance(b, (IntType, BoolType)):
+        if isinstance(a, (IntType, BoolType)):
+            size_a = a.size_bits or 32
+            size_b = b.size_bits or 32
+            distance = 0.0
+            if size_a != size_b:
+                distance += 1.0
+            if isinstance(a, IntType) and isinstance(b, IntType) and a.signed != b.signed:
+                distance += 0.5
+            return distance
+        if isinstance(a, FloatType):
+            return 2.0
+        if isinstance(a, PointerType):
+            return 2.5
+        return 2.0
+
+    if isinstance(b, FloatType):
+        if isinstance(a, FloatType):
+            return 0.0 if a.size_bits == b.size_bits else 1.0
+        return 2.5
+
+    if isinstance(b, (UnknownType, VoidType)):
+        return 0.0 if isinstance(a, (UnknownType, VoidType)) else 1.0
+
+    return 2.0
+
+
+def _struct_distance(
+    a: StructType,
+    b: StructType,
+    inferred_structs: Mapping[str, StructType],
+    truth_structs: Mapping[str, StructType],
+    depth: int,
+) -> float:
+    offsets = {f.offset for f in b.fields}
+    if not offsets:
+        return 0.0
+    total = 0.0
+    for field in b.fields:
+        match = a.field_at(field.offset)
+        if match is None:
+            total += 2.0
+        else:
+            total += type_distance(
+                match.ctype, field.ctype, inferred_structs, truth_structs, depth + 1
+            )
+    return min(MAX_DISTANCE, total / len(b.fields))
+
+
+def is_conservative(
+    inferred: Optional[CType],
+    truth: CType,
+    inferred_structs: Mapping[str, StructType] = {},
+    truth_structs: Mapping[str, StructType] = {},
+    depth: int = 0,
+) -> bool:
+    """Does the inferred type avoid claiming anything false about the truth?"""
+    if depth > 4 or inferred is None:
+        return True
+    a = _resolve(inferred, inferred_structs)
+    b = _resolve(truth, truth_structs)
+
+    if isinstance(a, (UnknownType, VoidType)):
+        return True
+    if isinstance(a, UnionType):
+        return any(
+            is_conservative(member, truth, inferred_structs, truth_structs, depth)
+            for member in a.members
+        )
+
+    if isinstance(b, PointerType):
+        if isinstance(a, PointerType):
+            return is_conservative(
+                a.pointee, b.pointee, inferred_structs, truth_structs, depth + 1
+            )
+        if isinstance(a, (StructType, StructRef)):
+            # a pointer to the first member / enclosing object view
+            return True
+        return False
+
+    if isinstance(b, (StructType, StructRef)):
+        b_struct = _resolve(b, truth_structs)
+        if isinstance(a, (StructType, StructRef)):
+            a_struct = _resolve(a, inferred_structs)
+            if not isinstance(a_struct, StructType) or not isinstance(b_struct, StructType):
+                return True
+            for field in a_struct.fields:
+                truth_field = b_struct.field_at(field.offset)
+                if truth_field is None:
+                    size = b_struct.size_bits or 0
+                    if field.offset * 8 < size:
+                        return False
+                    continue
+                if not is_conservative(
+                    field.ctype, truth_field.ctype, inferred_structs, truth_structs, depth + 1
+                ):
+                    return False
+            return True
+        if isinstance(a, PointerType):
+            return False
+        # scalar view of a struct: only fine if the struct is word sized
+        return (b_struct.size_bits or 32) <= 32 if isinstance(b_struct, StructType) else True
+
+    if isinstance(b, (IntType, BoolType)):
+        if isinstance(a, (IntType, BoolType)):
+            return (a.size_bits or 32) >= (b.size_bits or 32)
+        if isinstance(a, (PointerType, StructType, StructRef)):
+            return False
+        return True
+
+    return True
+
+
+def _atom_for_scalar(ctype: CType) -> Optional[str]:
+    """Lattice atom naming a ground-truth scalar type (for bound bracketing)."""
+    if isinstance(ctype, BoolType):
+        return "bool"
+    if isinstance(ctype, IntType):
+        if ctype.size_bits == 8:
+            return "int8" if ctype.signed else "uint8"
+        if ctype.size_bits == 16:
+            return "int16" if ctype.signed else "uint16"
+        if ctype.size_bits == 64:
+            return "int64" if ctype.signed else "uint64"
+        return "int" if ctype.signed else "uint"
+    if isinstance(ctype, FloatType):
+        return "float" if ctype.size_bits == 32 else "double"
+    return None
+
+
+def sketch_conservative(
+    sketch: Sketch,
+    truth: CType,
+    truth_structs: Mapping[str, StructType] = {},
+    node: Optional[int] = None,
+    depth: int = 0,
+    visiting: Optional[set] = None,
+) -> bool:
+    """Conservativeness judged on the inferred *interval* (the sketch), not the
+    displayed type.
+
+    A sketch is conservative for a ground-truth type when every capability and
+    every lattice bound it asserts is consistent with the truth: asserting
+    pointer structure for an integer, a field beyond the real struct, or a
+    scalar bound incomparable with the declared scalar makes it
+    non-conservative; unconstrained nodes (bounds BOTTOM/TOP, no capabilities)
+    are always conservative.
+    """
+    if visiting is None:
+        visiting = set()
+    node = sketch.root if node is None else node
+    key = (node, str(truth), depth)
+    if depth > 5 or key in visiting:
+        return True
+    visiting.add(key)
+
+    lattice = sketch.lattice
+    resolved = _resolve(truth, truth_structs)
+    successors = sketch.successors(node)
+    data = sketch.node(node)
+    load_child = next((t for lab, t in successors.items() if str(lab) == "load"), None)
+    store_child = next((t for lab, t in successors.items() if str(lab) == "store"), None)
+    field_children = {
+        lab: t for lab, t in successors.items() if str(lab).startswith("sigma")
+    }
+
+    def bounds_compatible(atom: Optional[str]) -> bool:
+        if atom is None or atom not in lattice:
+            return True
+        for bound in (data.lower, data.upper):
+            if bound in (BOTTOM, TOP):
+                continue
+            if not (lattice.leq(bound, atom) or lattice.leq(atom, bound)):
+                return False
+        return True
+
+    if isinstance(resolved, PointerType):
+        if not bounds_compatible("ptr"):
+            return False
+        child = load_child if load_child is not None else store_child
+        if child is None:
+            return True
+        return sketch_conservative(
+            sketch, resolved.pointee, truth_structs, child, depth + 1, visiting
+        )
+
+    if isinstance(resolved, StructType):
+        if load_child is not None or store_child is not None:
+            # Claiming the struct is a pointer: acceptable only as the
+            # pointer-to-first-member view (section 2.4).
+            first = resolved.field_at(0)
+            if first is None:
+                return False
+            return sketch_conservative(
+                sketch, first.ctype, truth_structs, node, depth + 1, visiting
+            )
+        size_bits = resolved.size_bits or 32
+        for label, child in field_children.items():
+            offset = getattr(label, "offset", 0)
+            truth_field = resolved.field_at(offset)
+            if truth_field is None:
+                if offset * 8 < size_bits:
+                    return False
+                continue
+            if not sketch_conservative(
+                sketch, truth_field.ctype, truth_structs, child, depth + 1, visiting
+            ):
+                return False
+        return True
+
+    if isinstance(resolved, (IntType, BoolType, FloatType)):
+        if load_child is not None or store_child is not None or field_children:
+            return False
+        return bounds_compatible(_atom_for_scalar(resolved))
+
+    return True
+
+
+def pointer_accuracy(
+    inferred: Optional[CType],
+    truth: CType,
+    inferred_structs: Mapping[str, StructType] = {},
+    truth_structs: Mapping[str, StructType] = {},
+) -> Optional[float]:
+    """Multi-level pointer accuracy (ElWazeer et al.); None when truth is not a pointer."""
+    truth_resolved = _resolve(truth, truth_structs)
+    truth_depth = truth_resolved.pointer_depth()
+    if truth_depth == 0:
+        return None
+    if inferred is None:
+        return 0.0
+    inferred_depth = _resolve(inferred, inferred_structs).pointer_depth()
+    if inferred_depth == 0:
+        return 0.0
+    if inferred_depth <= truth_depth:
+        return inferred_depth / truth_depth
+    return truth_depth / inferred_depth
+
+
+def interval_size_from_sketch(sketch: Optional[Sketch], max_depth: int = 2) -> float:
+    """Average width of the [lower, upper] decoration over the sketch's shallow nodes."""
+    if sketch is None:
+        return MAX_DISTANCE
+    lattice = sketch.lattice
+    gaps: List[float] = []
+    for word, node in sketch.paths(max_depth=max_depth):
+        data = sketch.node(node)
+        has_structure = bool(sketch.successors(node))
+        if has_structure:
+            gaps.append(0.5)
+            continue
+        lower, upper = data.lower, data.upper
+        if lower == BOTTOM and upper == TOP:
+            gaps.append(MAX_DISTANCE)
+        elif lower == BOTTOM or upper == TOP:
+            gaps.append(2.0)
+        elif lower == upper:
+            gaps.append(0.0)
+        else:
+            gaps.append(1.0)
+    return sum(gaps) / len(gaps) if gaps else MAX_DISTANCE
+
+
+# ---------------------------------------------------------------------------
+# Program-level aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VariableComparison:
+    function: str
+    location: str
+    truth: CType
+    inferred: Optional[CType]
+    distance: float
+    conservative: bool
+    interval: float
+    pointer_score: Optional[float]
+    const_truth: bool = False
+    const_inferred: bool = False
+
+
+@dataclass
+class ProgramMetrics:
+    """Aggregated metrics for one program (one binary of the benchmark suite)."""
+
+    name: str
+    comparisons: List[VariableComparison] = dc_field(default_factory=list)
+    analysis_seconds: float = 0.0
+    instructions: int = 0
+    cfg_nodes: int = 0
+    memory_bytes: int = 0
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def mean_distance(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return sum(c.distance for c in self.comparisons) / len(self.comparisons)
+
+    @property
+    def mean_interval(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return sum(c.interval for c in self.comparisons) / len(self.comparisons)
+
+    @property
+    def conservativeness(self) -> float:
+        if not self.comparisons:
+            return 1.0
+        return sum(1 for c in self.comparisons if c.conservative) / len(self.comparisons)
+
+    @property
+    def pointer_accuracy(self) -> float:
+        scores = [c.pointer_score for c in self.comparisons if c.pointer_score is not None]
+        return sum(scores) / len(scores) if scores else 1.0
+
+    @property
+    def const_recall(self) -> float:
+        const_params = [c for c in self.comparisons if c.const_truth]
+        if not const_params:
+            return 1.0
+        return sum(1 for c in const_params if c.const_inferred) / len(const_params)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "distance": self.mean_distance,
+            "interval": self.mean_interval,
+            "conservativeness": self.conservativeness,
+            "pointer_accuracy": self.pointer_accuracy,
+            "const_recall": self.const_recall,
+            "variables": float(self.variable_count),
+        }
+
+
+def evaluate_program(
+    name: str, types: ProgramTypes, truth: GroundTruth
+) -> ProgramMetrics:
+    """Compare an engine's output against ground truth for one program."""
+    metrics = ProgramMetrics(
+        name=name,
+        analysis_seconds=float(types.stats.get("total_seconds", 0.0)),
+        instructions=int(types.stats.get("instructions", 0)),
+        cfg_nodes=int(types.stats.get("cfg_nodes", 0)),
+    )
+    inferred_structs = types.struct_definitions()
+    for function_name, function_truth in truth.functions.items():
+        if function_name not in types:
+            continue
+        info = types[function_name]
+        metrics.comparisons.extend(
+            _compare_function(info, function_truth, inferred_structs, truth.structs)
+        )
+    return metrics
+
+
+def _compare_function(
+    info: FunctionTypes,
+    truth: FunctionGroundTruth,
+    inferred_structs: Mapping[str, StructType],
+    truth_structs: Mapping[str, StructType],
+) -> List[VariableComparison]:
+    comparisons: List[VariableComparison] = []
+    location_to_index = {loc: i for i, loc in enumerate(info.param_locations)}
+
+    for index, (location, truth_type) in enumerate(truth.params):
+        inferred_type: Optional[CType] = None
+        sketch = None
+        if location in location_to_index:
+            inferred_type = info.function_type.params[location_to_index[location]]
+            dtv = DerivedTypeVariable(info.name, (InLabel(location),))
+            sketch = info.result.formal_in_sketches.get(dtv)
+        const_truth = truth.param_const[index] if index < len(truth.param_const) else False
+        const_inferred = isinstance(inferred_type, PointerType) and inferred_type.const
+        if sketch is not None:
+            conservative = sketch_conservative(sketch, truth_type, truth_structs)
+        else:
+            conservative = is_conservative(
+                inferred_type, truth_type, inferred_structs, truth_structs
+            )
+        comparisons.append(
+            VariableComparison(
+                function=info.name,
+                location=location,
+                truth=truth_type,
+                inferred=inferred_type,
+                distance=type_distance(inferred_type, truth_type, inferred_structs, truth_structs),
+                conservative=conservative,
+                interval=interval_size_from_sketch(sketch),
+                pointer_score=pointer_accuracy(
+                    inferred_type, truth_type, inferred_structs, truth_structs
+                ),
+                const_truth=const_truth,
+                const_inferred=const_inferred,
+            )
+        )
+
+    if truth.return_type is not None:
+        inferred_return = info.return_type
+        out_sketch = None
+        if info.result.formal_out_sketches:
+            out_sketch = next(iter(info.result.formal_out_sketches.values()))
+        if out_sketch is not None:
+            return_conservative = sketch_conservative(
+                out_sketch, truth.return_type, truth_structs
+            )
+        else:
+            return_conservative = is_conservative(
+                inferred_return, truth.return_type, inferred_structs, truth_structs
+            )
+        comparisons.append(
+            VariableComparison(
+                function=info.name,
+                location="return",
+                truth=truth.return_type,
+                inferred=inferred_return,
+                distance=type_distance(
+                    inferred_return, truth.return_type, inferred_structs, truth_structs
+                ),
+                conservative=return_conservative,
+                interval=interval_size_from_sketch(out_sketch),
+                pointer_score=pointer_accuracy(
+                    inferred_return, truth.return_type, inferred_structs, truth_structs
+                ),
+            )
+        )
+    return comparisons
+
+
+def aggregate(metrics: Sequence[ProgramMetrics]) -> Dict[str, float]:
+    """Unweighted average of program-level summaries (the paper's cluster averaging)."""
+    if not metrics:
+        return {}
+    keys = ["distance", "interval", "conservativeness", "pointer_accuracy", "const_recall"]
+    result: Dict[str, float] = {}
+    for key in keys:
+        result[key] = sum(m.summary()[key] for m in metrics) / len(metrics)
+    result["programs"] = float(len(metrics))
+    result["variables"] = float(sum(m.variable_count for m in metrics))
+    return result

@@ -1,0 +1,125 @@
+"""The mini-C frontend: parse, type check, record ground truth, compile to the IR.
+
+Typical use::
+
+    from repro.frontend import compile_c
+
+    result = compile_c(source_text)
+    result.program        # repro.ir.Program (type-erased machine code)
+    result.ground_truth   # declared types, for evaluation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ctype import CType, PointerType, StructType, VoidType
+from ..ir.program import Program
+from .ast import FunctionDecl, StructLayout, TranslationUnit
+from .codegen import CodeGenerator, CodegenError, CodegenOptions
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_c
+from .typecheck import (
+    EXTERN_C_SIGNATURES,
+    CheckedUnit,
+    FunctionSignature,
+    TypeCheckError,
+    typecheck,
+)
+
+
+@dataclass
+class FunctionGroundTruth:
+    """Declared (source-level) typing of one function."""
+
+    name: str
+    #: (formal location, declared type) in stack order: stack0, stack4, ...
+    params: List[Tuple[str, CType]] = dc_field(default_factory=list)
+    param_names: List[str] = dc_field(default_factory=list)
+    return_type: Optional[CType] = None
+    #: per-parameter: was the parameter declared as a pointer-to-const?
+    param_const: List[bool] = dc_field(default_factory=list)
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass
+class GroundTruth:
+    """Whole-program ground truth recorded before type erasure."""
+
+    functions: Dict[str, FunctionGroundTruth] = dc_field(default_factory=dict)
+    structs: Dict[str, StructType] = dc_field(default_factory=dict)
+    globals: Dict[str, CType] = dc_field(default_factory=dict)
+
+    def function(self, name: str) -> FunctionGroundTruth:
+        return self.functions[name]
+
+
+@dataclass
+class CompilationResult:
+    source: str
+    unit: TranslationUnit
+    checked: CheckedUnit
+    program: Program
+    ground_truth: GroundTruth
+
+
+def compile_c(
+    source: str, options: Optional[CodegenOptions] = None
+) -> CompilationResult:
+    """Compile mini-C source to type-erased machine code plus ground truth."""
+    unit = parse_c(source)
+    checked = typecheck(unit)
+    program = CodeGenerator(checked, options).compile()
+    truth = extract_ground_truth(checked)
+    return CompilationResult(
+        source=source, unit=unit, checked=checked, program=program, ground_truth=truth
+    )
+
+
+def extract_ground_truth(checked: CheckedUnit) -> GroundTruth:
+    truth = GroundTruth()
+    for name, layout in checked.struct_layouts.items():
+        truth.structs[name] = layout.to_ctype()
+    for name, ctype in checked.globals.items():
+        truth.globals[f"g_{name}"] = ctype
+    for function in checked.unit.functions:
+        if not function.is_definition:
+            continue
+        entry = FunctionGroundTruth(name=function.name)
+        for index, param in enumerate(function.params):
+            declared = param.ctype
+            if isinstance(declared, PointerType) and param.is_const:
+                declared = PointerType(declared.pointee, const=True)
+            entry.params.append((f"stack{4 * index}", declared))
+            entry.param_names.append(param.name)
+            entry.param_const.append(
+                isinstance(param.ctype, PointerType) and param.ctype.const
+            )
+        if not isinstance(function.return_type, VoidType):
+            entry.return_type = function.return_type
+        truth.functions[function.name] = entry
+    return truth
+
+
+__all__ = [
+    "CheckedUnit",
+    "CodegenError",
+    "CodegenOptions",
+    "CompilationResult",
+    "EXTERN_C_SIGNATURES",
+    "FunctionGroundTruth",
+    "FunctionSignature",
+    "GroundTruth",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "compile_c",
+    "extract_ground_truth",
+    "parse_c",
+    "tokenize",
+    "typecheck",
+]

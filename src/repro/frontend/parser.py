@@ -1,0 +1,335 @@
+"""Recursive-descent parser for the mini-C frontend."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.ctype import CType, IntType, PointerType, StructRef, VoidType
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    Declaration,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FunctionDecl,
+    GlobalVar,
+    If,
+    Index,
+    IntLit,
+    Name,
+    NullLit,
+    Param,
+    Return,
+    SizeOf,
+    StructDecl,
+    TranslationUnit,
+    Unary,
+    While,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (near {token.value!r})")
+        self.token = token
+
+
+_TYPE_STARTERS = {"int", "unsigned", "char", "void", "struct", "const"}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, value: str) -> bool:
+        return self.peek().value == value
+
+    def accept(self, value: str) -> bool:
+        if self.check(value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> Token:
+        if not self.check(value):
+            raise ParseError(f"expected {value!r}", self.peek())
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise ParseError("expected an identifier", token)
+        return self.advance().value
+
+    def at_type(self) -> bool:
+        return self.peek().value in _TYPE_STARTERS
+
+    # -- types -----------------------------------------------------------------------
+
+    def parse_type(self) -> Tuple[CType, bool]:
+        """Parse a type; returns (ctype, is_pointer_to_const)."""
+        is_const = False
+        if self.accept("const"):
+            is_const = True
+        token = self.peek()
+        if token.value == "int":
+            self.advance()
+            base: CType = IntType(32, True)
+        elif token.value == "unsigned":
+            self.advance()
+            self.accept("int")
+            if self.check("char"):
+                self.advance()
+                base = IntType(8, False)
+            else:
+                base = IntType(32, False)
+        elif token.value == "char":
+            self.advance()
+            base = IntType(8, True)
+        elif token.value == "void":
+            self.advance()
+            base = VoidType()
+        elif token.value == "struct":
+            self.advance()
+            name = self.expect_ident()
+            base = StructRef(name)
+        else:
+            raise ParseError("expected a type", token)
+        pointer_const = False
+        while self.check("*"):
+            self.advance()
+            base = PointerType(base, const=is_const)
+            pointer_const = is_const
+            is_const = False
+        return base, pointer_const
+
+    # -- top level ----------------------------------------------------------------------
+
+    def parse_unit(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self.peek().kind != "eof":
+            if self.check("struct") and self.peek(2).value == "{":
+                unit.structs.append(self.parse_struct_decl())
+                continue
+            self.accept("extern")
+            ctype, is_const = self.parse_type()
+            name = self.expect_ident()
+            if self.check("("):
+                unit.functions.append(self.parse_function(ctype, name))
+            else:
+                self.expect(";")
+                unit.globals.append(GlobalVar(name, ctype))
+        return unit
+
+    def parse_struct_decl(self) -> StructDecl:
+        self.expect("struct")
+        name = self.expect_ident()
+        self.expect("{")
+        fields: List[Tuple[str, CType]] = []
+        while not self.check("}"):
+            ctype, _ = self.parse_type()
+            field_name = self.expect_ident()
+            self.expect(";")
+            fields.append((field_name, ctype))
+        self.expect("}")
+        self.expect(";")
+        return StructDecl(name, fields)
+
+    def parse_function(self, return_type: CType, name: str) -> FunctionDecl:
+        self.expect("(")
+        params: List[Param] = []
+        if not self.check(")"):
+            if self.check("void") and self.peek(1).value == ")":
+                self.advance()
+            else:
+                while True:
+                    ctype, is_const = self.parse_type()
+                    param_name = (
+                        self.expect_ident() if self.peek().kind == "ident" else f"arg{len(params)}"
+                    )
+                    params.append(Param(param_name, ctype, is_const))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        if self.accept(";"):
+            return FunctionDecl(name, return_type, params, None)
+        body = self.parse_block()
+        return FunctionDecl(name, return_type, params, body)
+
+    # -- statements -------------------------------------------------------------------------
+
+    def parse_block(self) -> List:
+        self.expect("{")
+        body = []
+        while not self.check("}"):
+            body.append(self.parse_statement())
+        self.expect("}")
+        return body
+
+    def parse_statement(self):
+        if self.check("{"):
+            return Block(self.parse_block())
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("while"):
+            return self.parse_while()
+        if self.check("return"):
+            self.advance()
+            value = None if self.check(";") else self.parse_expression()
+            self.expect(";")
+            return Return(value)
+        if self.at_type():
+            ctype, _ = self.parse_type()
+            name = self.expect_ident()
+            init = self.parse_expression() if self.accept("=") else None
+            self.expect(";")
+            return Declaration(name, ctype, init)
+        expr = self.parse_expression()
+        self.expect(";")
+        return ExprStmt(expr)
+
+    def parse_if(self) -> If:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then_body = self._statement_body()
+        else_body = []
+        if self.accept("else"):
+            else_body = self._statement_body()
+        return If(cond, then_body, else_body)
+
+    def parse_while(self) -> While:
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        return While(cond, self._statement_body())
+
+    def _statement_body(self) -> List:
+        if self.check("{"):
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    # -- expressions -------------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> Expr:
+        left = self.parse_equality()
+        if self.accept("="):
+            value = self.parse_assignment()
+            return Assign(left, value)
+        return left
+
+    def parse_equality(self) -> Expr:
+        expr = self.parse_relational()
+        while self.peek().value in ("==", "!="):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_relational())
+        return expr
+
+    def parse_relational(self) -> Expr:
+        expr = self.parse_additive()
+        while self.peek().value in ("<", ">", "<=", ">="):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> Expr:
+        expr = self.parse_multiplicative()
+        while self.peek().value in ("+", "-"):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> Expr:
+        expr = self.parse_unary()
+        while self.peek().value in ("*", "/", "%"):
+            op = self.advance().value
+            expr = Binary(op, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.value in ("*", "&", "-", "!"):
+            self.advance()
+            return Unary(token.value, self.parse_unary())
+        if token.value == "(" and self.peek(1).value in _TYPE_STARTERS:
+            self.advance()
+            ctype, _ = self.parse_type()
+            self.expect(")")
+            return Cast(ctype, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("."):
+                expr = FieldAccess(expr, self.expect_ident(), arrow=False)
+            elif self.accept("->"):
+                expr = FieldAccess(expr, self.expect_ident(), arrow=True)
+            elif self.check("[") and not isinstance(expr, Call):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("]")
+                expr = Index(expr, index)
+            elif self.check("(") and isinstance(expr, Name):
+                self.advance()
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = Call(expr.ident, args)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            return IntLit(int(token.value, 0))
+        if token.value == "NULL":
+            self.advance()
+            return NullLit()
+        if token.value == "sizeof":
+            self.advance()
+            self.expect("(")
+            ctype, _ = self.parse_type()
+            self.expect(")")
+            return SizeOf(ctype)
+        if token.kind == "ident":
+            self.advance()
+            return Name(token.value)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse_c(source: str) -> TranslationUnit:
+    """Parse mini-C source text into a :class:`TranslationUnit`."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,259 @@
+"""A parser for the textual assembly syntax of the IR.
+
+Syntax overview::
+
+    .extern malloc              ; declare an external function
+    .global_var counter 4       ; declare a global variable (name, size in bytes)
+
+    close_last:                 ; a top-level label starts a new procedure
+        mov edx, [esp+4]
+    .loop:                      ; labels starting with '.' are procedure-local
+        mov eax, [edx]
+        test eax, eax
+        jnz .loop_body
+        mov eax, [edx+4]
+        mov [esp+4], eax
+        call close
+        ret
+    .loop_body:
+        mov edx, eax
+        jmp .loop
+
+Memory operands accept ``[reg]``, ``[reg+imm]``, ``[reg-imm]``, ``[reg+reg2]``,
+``[global]`` and ``[global+imm]``; a ``byte``/``word``/``qword`` prefix selects
+the access size (default 4 bytes).  Comments start with ``;`` or ``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import (
+    REGISTERS,
+    BinaryOp,
+    Call,
+    Compare,
+    Imm,
+    Instruction,
+    Jcc,
+    Jmp,
+    LabelPseudo,
+    Lea,
+    Leave,
+    Mem,
+    Mov,
+    Nop,
+    Operand,
+    Pop,
+    Push,
+    Reg,
+    Ret,
+)
+from .program import Procedure, Program
+
+
+class AsmSyntaxError(ValueError):
+    """Raised when the assembly text cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_SIZE_PREFIXES = {"byte": 1, "word": 2, "dword": 4, "qword": 8}
+_BINARY_OPS = {"add", "sub", "and", "or", "xor", "imul", "shl", "shr", "sar"}
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$@]*):$")
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole assembly module into a :class:`Program`."""
+    program = Program()
+    current_name: Optional[str] = None
+    current_instructions: List[Instruction] = []
+
+    def flush() -> None:
+        nonlocal current_name, current_instructions
+        if current_name is not None:
+            program.add_procedure(Procedure(current_name, current_instructions))
+        current_name = None
+        current_instructions = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith(".extern"):
+            parts = line.split()
+            if len(parts) < 2:
+                raise AsmSyntaxError("missing extern name", line_number, raw_line)
+            for name in parts[1:]:
+                program.externs.add(name.rstrip(","))
+            continue
+        if line.startswith(".global_var"):
+            parts = line.split()
+            if len(parts) < 2:
+                raise AsmSyntaxError("missing global name", line_number, raw_line)
+            size = int(parts[2]) if len(parts) > 2 else 4
+            program.globals[parts[1]] = size
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name.startswith("."):
+                if current_name is None:
+                    raise AsmSyntaxError("local label outside procedure", line_number, raw_line)
+                current_instructions.append(LabelPseudo(name))
+            else:
+                flush()
+                current_name = name
+            continue
+        if current_name is None:
+            raise AsmSyntaxError("instruction outside procedure", line_number, raw_line)
+        try:
+            current_instructions.append(parse_instruction(line))
+        except ValueError as error:
+            raise AsmSyntaxError(str(error), line_number, raw_line) from error
+    flush()
+    return program
+
+
+def parse_procedure(name: str, text: str) -> Procedure:
+    """Parse the body of a single procedure (no directives)."""
+    program = parse_program(f"{name}:\n{text}")
+    return program.procedure(name)
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse a single instruction line."""
+    line = _strip_comment(line).strip()
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    rest = rest.strip()
+
+    if mnemonic == "nop":
+        return Nop()
+    if mnemonic == "ret":
+        return Ret()
+    if mnemonic == "leave":
+        return Leave()
+    if mnemonic == "jmp":
+        return Jmp(rest)
+    if mnemonic.startswith("j") and len(mnemonic) > 1:
+        return Jcc(mnemonic[1:], rest)
+    if mnemonic == "call":
+        target = rest.strip()
+        if target in REGISTERS:
+            return Call(Reg(target))
+        return Call(target)
+    if mnemonic == "push":
+        return Push(parse_operand(rest))
+    if mnemonic == "pop":
+        operand = parse_operand(rest)
+        if not isinstance(operand, Reg):
+            raise ValueError("pop destination must be a register")
+        return Pop(operand)
+
+    operands = _split_operands(rest)
+    if mnemonic == "mov":
+        _expect(operands, 2, "mov")
+        return Mov(parse_operand(operands[0]), parse_operand(operands[1]))
+    if mnemonic == "lea":
+        _expect(operands, 2, "lea")
+        dst = parse_operand(operands[0])
+        src = parse_operand(operands[1])
+        if not isinstance(dst, Reg) or not isinstance(src, Mem):
+            raise ValueError("lea expects a register destination and memory source")
+        return Lea(dst, src)
+    if mnemonic in _BINARY_OPS:
+        _expect(operands, 2, mnemonic)
+        dst = parse_operand(operands[0])
+        if not isinstance(dst, Reg):
+            raise ValueError(f"{mnemonic} destination must be a register")
+        return BinaryOp(mnemonic, dst, parse_operand(operands[1]))
+    if mnemonic in ("cmp", "test"):
+        _expect(operands, 2, mnemonic)
+        return Compare(mnemonic, parse_operand(operands[0]), parse_operand(operands[1]))
+    raise ValueError(f"unknown mnemonic {mnemonic!r}")
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a register, immediate or memory operand."""
+    text = text.strip()
+    size = 4
+    for prefix, prefix_size in _SIZE_PREFIXES.items():
+        if text.startswith(prefix + " "):
+            size = prefix_size
+            text = text[len(prefix):].strip()
+            break
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ValueError(f"unterminated memory operand {text!r}")
+        return _parse_memory(text[1:-1], size)
+    if text in REGISTERS:
+        return Reg(text)
+    try:
+        return Imm(int(text, 0))
+    except ValueError:
+        raise ValueError(f"cannot parse operand {text!r}") from None
+
+
+def _parse_memory(inner: str, size: int) -> Mem:
+    inner = inner.replace(" ", "")
+    # Normalize "a-b" to "a+-b" so we can split on '+'.
+    inner = re.sub(r"(?<=[\w\]])-", "+-", inner)
+    parts = [part for part in inner.split("+") if part]
+    base: Optional[str] = None
+    index: Optional[str] = None
+    offset = 0
+    for part in parts:
+        if part in REGISTERS:
+            if base is None:
+                base = part
+            elif index is None:
+                index = part
+            else:
+                raise ValueError(f"too many registers in memory operand [{inner}]")
+            continue
+        try:
+            offset += int(part, 0)
+        except ValueError:
+            # A symbol: a global variable or named stack slot.
+            if base is None:
+                base = part
+            else:
+                raise ValueError(f"cannot parse memory operand part {part!r}") from None
+    return Mem(base=base, offset=offset, size=size, index=index)
+
+
+def _split_operands(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _expect(operands: List[str], count: int, mnemonic: str) -> None:
+    if len(operands) != count:
+        raise ValueError(f"{mnemonic} expects {count} operands, got {len(operands)}")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index != -1:
+            line = line[:index]
+    return line

@@ -1,0 +1,42 @@
+"""Call graphs and their strongly-connected components.
+
+Type schemes are inferred bottom-up over the SCCs of the call graph (section
+4.2); this module wraps the program's direct-call edges and the Tarjan SCC
+computation shared with the core solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Set
+
+from ..core.solver import tarjan_sccs
+from .program import Program
+
+
+@dataclass
+class CallGraph:
+    """Direct call graph over the procedures defined in a program."""
+
+    edges: Dict[str, Set[str]] = dc_field(default_factory=dict)
+
+    @classmethod
+    def from_program(cls, program: Program) -> "CallGraph":
+        return cls(program.call_edges())
+
+    def callees(self, name: str) -> Set[str]:
+        return set(self.edges.get(name, ()))
+
+    def callers(self, name: str) -> Set[str]:
+        return {caller for caller, callees in self.edges.items() if name in callees}
+
+    def sccs_bottom_up(self) -> List[List[str]]:
+        """SCCs in callee-first order (the order type schemes are inferred in)."""
+        return tarjan_sccs(self.edges)
+
+    def sccs_top_down(self) -> List[List[str]]:
+        """SCCs in caller-first order (the order sketches are specialized in)."""
+        return list(reversed(self.sccs_bottom_up()))
+
+    def __len__(self) -> int:
+        return len(self.edges)

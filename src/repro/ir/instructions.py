@@ -1,0 +1,307 @@
+"""The machine-code instruction set of the IR substrate.
+
+The reproduction targets a small, 32-bit, x86-flavoured register machine.  It
+is deliberately *not* a byte-accurate x86 model: the paper's algorithm consumes
+a recovered IR (CodeSurfer's), so what matters is that the substrate exhibits
+the idioms that make machine-code type inference hard -- untyped registers,
+stack slots, memory operands with base+offset addressing, cdecl-style calls,
+flag-only computations, ``xor reg, reg`` constants -- while staying simple
+enough to analyze exactly.
+
+Registers: ``eax ebx ecx edx esi edi ebp esp`` (all 32-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+
+REGISTERS = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+WORD_SIZE = 4  # bytes
+CONDITION_CODES = ("z", "nz", "e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns")
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A machine register."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in REGISTERS:
+            raise ValueError(f"unknown register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + offset]`` of ``size`` bytes.
+
+    ``base`` is a register name, a global symbol name, or ``None`` for an
+    absolute address (rare; only produced by hand-written tests).
+    """
+
+    base: Optional[str] = None
+    offset: int = 0
+    size: int = WORD_SIZE
+    index: Optional[str] = None  # optional index register (no scale)
+
+    @property
+    def is_register_based(self) -> bool:
+        return self.base in REGISTERS
+
+    @property
+    def is_global(self) -> bool:
+        return self.base is not None and self.base not in REGISTERS
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(self.base)
+        if self.index is not None:
+            parts.append(self.index)
+        if self.offset or not parts:
+            parts.append(str(self.offset) if not parts or self.offset >= 0 else str(self.offset))
+        inner = "+".join(parts).replace("+-", "-")
+        prefix = {1: "byte ", 2: "word ", 4: "", 8: "qword "}.get(self.size, "")
+        return f"{prefix}[{inner}]"
+
+
+Operand = Union[Reg, Imm, Mem]
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class.  ``defs``/``uses`` list the registers written/read."""
+
+    def register_defs(self) -> Set[str]:
+        return set()
+
+    def register_uses(self) -> Set[str]:
+        return set()
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def _mem_uses(self, operand: Operand) -> Set[str]:
+        uses: Set[str] = set()
+        if isinstance(operand, Mem):
+            if operand.base in REGISTERS:
+                uses.add(operand.base)
+            if operand.index in REGISTERS:
+                uses.add(operand.index)
+        elif isinstance(operand, Reg):
+            uses.add(operand.name)
+        return uses
+
+
+@dataclass(frozen=True)
+class LabelPseudo(Instruction):
+    """A label marking a jump target (pseudo-instruction)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    dst: Operand
+    src: Operand
+
+    def register_defs(self) -> Set[str]:
+        return {self.dst.name} if isinstance(self.dst, Reg) else set()
+
+    def register_uses(self) -> Set[str]:
+        uses = self._mem_uses(self.src)
+        if isinstance(self.dst, Mem):
+            uses |= self._mem_uses(self.dst)
+        return uses
+
+    def __str__(self) -> str:
+        return f"mov {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Lea(Instruction):
+    """Load effective address: ``dst := &[mem]`` (pointer arithmetic, no access)."""
+
+    dst: Reg
+    src: Mem
+
+    def register_defs(self) -> Set[str]:
+        return {self.dst.name}
+
+    def register_uses(self) -> Set[str]:
+        return self._mem_uses(self.src)
+
+    def __str__(self) -> str:
+        return f"lea {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Instruction):
+    """Two-operand arithmetic/logic: ``dst := dst op src``."""
+
+    op: str  # add, sub, and, or, xor, imul, shl, shr
+    dst: Reg
+    src: Operand
+
+    def register_defs(self) -> Set[str]:
+        return {self.dst.name}
+
+    def register_uses(self) -> Set[str]:
+        uses = {self.dst.name} | self._mem_uses(self.src)
+        if self.op == "xor" and isinstance(self.src, Reg) and self.src.name == self.dst.name:
+            # xor reg, reg zeroes the register without reading it semantically.
+            return set()
+        return uses
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Compare(Instruction):
+    """cmp/test: sets flags only."""
+
+    op: str  # cmp or test
+    left: Operand
+    right: Operand
+
+    def register_uses(self) -> Set[str]:
+        return self._mem_uses(self.left) | self._mem_uses(self.right)
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.left}, {self.right}"
+
+
+@dataclass(frozen=True)
+class Push(Instruction):
+    src: Operand
+
+    def register_defs(self) -> Set[str]:
+        return {"esp"}
+
+    def register_uses(self) -> Set[str]:
+        return {"esp"} | self._mem_uses(self.src)
+
+    def __str__(self) -> str:
+        return f"push {self.src}"
+
+
+@dataclass(frozen=True)
+class Pop(Instruction):
+    dst: Reg
+
+    def register_defs(self) -> Set[str]:
+        return {self.dst.name, "esp"}
+
+    def register_uses(self) -> Set[str]:
+        return {"esp"}
+
+    def __str__(self) -> str:
+        return f"pop {self.dst}"
+
+
+@dataclass(frozen=True)
+class Call(Instruction):
+    """Direct call to a named procedure (indirect calls use a register target)."""
+
+    target: Union[str, Reg]
+
+    def register_defs(self) -> Set[str]:
+        # Caller-saved registers are clobbered; eax carries the return value.
+        return {"eax", "ecx", "edx"}
+
+    def register_uses(self) -> Set[str]:
+        return {self.target.name} if isinstance(self.target, Reg) else set()
+
+    def __str__(self) -> str:
+        return f"call {self.target}"
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    def is_terminator(self) -> bool:
+        return True
+
+    def register_uses(self) -> Set[str]:
+        return {"eax"}
+
+    def __str__(self) -> str:
+        return "ret"
+
+
+@dataclass(frozen=True)
+class Jmp(Instruction):
+    target: str
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"jmp {self.target}"
+
+
+@dataclass(frozen=True)
+class Jcc(Instruction):
+    cond: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"j{self.cond} {self.target}"
+
+
+@dataclass(frozen=True)
+class Leave(Instruction):
+    """``mov esp, ebp; pop ebp``."""
+
+    def register_defs(self) -> Set[str]:
+        return {"esp", "ebp"}
+
+    def register_uses(self) -> Set[str]:
+        return {"ebp"}
+
+    def __str__(self) -> str:
+        return "leave"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    def __str__(self) -> str:
+        return "nop"
+
+
+def is_zeroing_idiom(instruction: Instruction) -> bool:
+    """``xor reg, reg`` / ``sub reg, reg``: a constant zero, not a typed value (section 2.1)."""
+    return (
+        isinstance(instruction, BinaryOp)
+        and instruction.op in ("xor", "sub")
+        and isinstance(instruction.src, Reg)
+        and instruction.src.name == instruction.dst.name
+    )

@@ -1,0 +1,128 @@
+"""Stack-pointer tracking (the "affine relations between esp and ebp" of section 6.1).
+
+Retypd deliberately avoids full points-to analysis; the only memory facts it
+needs are which accesses address the current activation record.  This module
+computes, for every instruction of a procedure, the offset of ``esp`` and
+``ebp`` relative to the value of ``esp`` on procedure entry (0 = the return
+address slot).  Stack memory operands can then be resolved to *frame offsets*:
+
+* offsets ``>= 4``  : incoming arguments (``4`` is the first cdecl argument);
+* offset ``0``      : the return address;
+* offsets ``< 0``   : locals and outgoing argument slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cfg import successors
+from .instructions import (
+    WORD_SIZE,
+    BinaryOp,
+    Call,
+    Imm,
+    Instruction,
+    Leave,
+    Mem,
+    Mov,
+    Pop,
+    Push,
+    Reg,
+)
+from .program import Procedure
+
+
+@dataclass(frozen=True)
+class StackState:
+    """Offsets of esp and ebp relative to the entry esp; ``None`` = unknown."""
+
+    esp: Optional[int] = 0
+    ebp: Optional[int] = None
+
+    def merge(self, other: "StackState") -> "StackState":
+        esp = self.esp if self.esp == other.esp else None
+        ebp = self.ebp if self.ebp == other.ebp else None
+        return StackState(esp, ebp)
+
+
+def analyze_stack(procedure: Procedure) -> Dict[int, StackState]:
+    """State *before* each instruction index."""
+    succ_map = successors(procedure)
+    states: Dict[int, StackState] = {}
+    if not procedure.instructions:
+        return states
+    worklist: List[int] = [0]
+    states[0] = StackState(esp=0, ebp=None)
+    while worklist:
+        index = worklist.pop()
+        state = states[index]
+        after = transfer(procedure.instructions[index], state)
+        for succ in succ_map.get(index, []):
+            merged = after if succ not in states else states[succ].merge(after)
+            if succ not in states or merged != states[succ]:
+                states[succ] = merged
+                worklist.append(succ)
+    return states
+
+
+def transfer(instruction: Instruction, state: StackState) -> StackState:
+    esp, ebp = state.esp, state.ebp
+    if isinstance(instruction, Push):
+        esp = esp - WORD_SIZE if esp is not None else None
+    elif isinstance(instruction, Pop):
+        if instruction.dst.name == "ebp":
+            ebp = None
+        if instruction.dst.name == "esp":
+            esp = None
+        else:
+            esp = esp + WORD_SIZE if esp is not None else None
+    elif isinstance(instruction, Leave):
+        esp = ebp + WORD_SIZE if ebp is not None else None
+        ebp = None
+    elif isinstance(instruction, Mov):
+        if isinstance(instruction.dst, Reg) and instruction.dst.name == "ebp":
+            if isinstance(instruction.src, Reg) and instruction.src.name == "esp":
+                ebp = esp
+            else:
+                ebp = None
+        elif isinstance(instruction.dst, Reg) and instruction.dst.name == "esp":
+            if isinstance(instruction.src, Reg) and instruction.src.name == "ebp":
+                esp = ebp
+            else:
+                esp = None
+    elif isinstance(instruction, BinaryOp) and instruction.dst.name == "esp":
+        if isinstance(instruction.src, Imm) and esp is not None:
+            if instruction.op == "add":
+                esp = esp + instruction.src.value
+            elif instruction.op == "sub":
+                esp = esp - instruction.src.value
+            else:
+                esp = None
+        else:
+            esp = None
+    elif isinstance(instruction, BinaryOp) and instruction.dst.name == "ebp":
+        ebp = None
+    elif isinstance(instruction, Call):
+        pass  # net esp change of a cdecl call is zero from the caller's view
+    return StackState(esp, ebp)
+
+
+def frame_offset(memory: Mem, state: StackState) -> Optional[int]:
+    """Offset of a stack memory operand relative to the entry esp, if resolvable."""
+    if memory.index is not None:
+        return None
+    if memory.base == "esp":
+        return state.esp + memory.offset if state.esp is not None else None
+    if memory.base == "ebp":
+        return state.ebp + memory.offset if state.ebp is not None else None
+    return None
+
+
+def is_argument_offset(offset: int) -> bool:
+    return offset >= WORD_SIZE
+
+
+def argument_location(offset: int) -> str:
+    """Formal-in location name for an argument frame offset (4 -> ``stack0``)."""
+    return f"stack{offset - WORD_SIZE}"

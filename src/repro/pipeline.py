@@ -1,0 +1,167 @@
+"""The end-to-end analysis pipeline: assembly text (or an IR program) to C types.
+
+This is the user-facing entry point of the reproduction::
+
+    from repro import analyze_program
+
+    types = analyze_program(asm_text)
+    print(types.signature("close_last"))
+    print(types.scheme("close_last"))
+
+Internally it mirrors the architecture of section 4: IR recovery (already done
+if a :class:`~repro.ir.program.Program` is passed), constraint generation per
+procedure, bottom-up type-scheme inference over call-graph SCCs, sketch
+solving, and the final heuristic conversion to C types.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from .core.ctype import FunctionType, PointerType, StructType, render_function
+from .core.display import TypeDisplay
+from .core.labels import InLabel, Variance
+from .core.lattice import TypeLattice, default_lattice
+from .core.schemes import TypeScheme
+from .core.solver import ProcedureResult, ProcedureTypingInput, Solver, SolverConfig
+from .core.variables import DerivedTypeVariable
+from .ir.asmparser import parse_program
+from .ir.cfg import cfg_node_count
+from .ir.program import Program
+from .typegen.externs import ExternSignature, ensure_lattice_tags, extern_schemes, standard_externs
+from .typegen.abstract_interp import generate_program_constraints
+
+
+@dataclass
+class FunctionTypes:
+    """The inferred typing of one procedure."""
+
+    name: str
+    function_type: FunctionType
+    param_names: List[str]
+    param_locations: List[str]
+    result: ProcedureResult
+
+    @property
+    def scheme(self) -> TypeScheme:
+        return self.result.scheme
+
+    def signature(self) -> str:
+        return render_function(self.name, self.function_type, self.param_names)
+
+    def param_type(self, index: int):
+        return self.function_type.params[index]
+
+    @property
+    def return_type(self):
+        return self.function_type.ret
+
+
+@dataclass
+class ProgramTypes:
+    """Whole-program inference results."""
+
+    program: Program
+    functions: Dict[str, FunctionTypes]
+    display: TypeDisplay
+    stats: Dict[str, float] = dc_field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __getitem__(self, name: str) -> FunctionTypes:
+        return self.functions[name]
+
+    def signature(self, name: str) -> str:
+        return self.functions[name].signature()
+
+    def scheme(self, name: str) -> TypeScheme:
+        return self.functions[name].scheme
+
+    def struct_definitions(self) -> Dict[str, StructType]:
+        return self.display.struct_definitions()
+
+    def report(self) -> str:
+        """A human-readable summary of every inferred signature."""
+        lines = []
+        for name in sorted(self.functions):
+            lines.append(self.signature(name))
+        if self.display.struct_definitions():
+            lines.append("")
+            for struct_name, struct in sorted(self.display.struct_definitions().items()):
+                lines.append(f"{struct};")
+        return "\n".join(lines)
+
+
+def analyze_program(
+    source: Union[str, Program],
+    lattice: Optional[TypeLattice] = None,
+    externs: Optional[Mapping[str, ExternSignature]] = None,
+    config: Optional[SolverConfig] = None,
+) -> ProgramTypes:
+    """Run the whole Retypd pipeline on assembly text or an IR program."""
+    program = parse_program(source) if isinstance(source, str) else source
+    lattice = lattice or default_lattice()
+    ensure_lattice_tags(lattice)
+    extern_table = dict(externs) if externs is not None else standard_externs()
+
+    start = time.perf_counter()
+    inputs = generate_program_constraints(program, extern_table)
+    constraint_time = time.perf_counter() - start
+
+    solver = Solver(lattice, extern_schemes(extern_table), config)
+    solve_start = time.perf_counter()
+    results = solver.solve_program(inputs)
+    solve_time = time.perf_counter() - solve_start
+
+    display = TypeDisplay(lattice)
+    functions: Dict[str, FunctionTypes] = {}
+    for name, result in results.items():
+        functions[name] = _function_types(name, inputs[name], result, display)
+
+    stats = dict(solver.stats)
+    stats.update(
+        {
+            "constraint_generation_seconds": constraint_time,
+            "solve_seconds": solve_time,
+            "total_seconds": constraint_time + solve_time,
+            "instructions": program.instruction_count,
+            "cfg_nodes": sum(cfg_node_count(proc) for proc in program),
+        }
+    )
+    return ProgramTypes(program=program, functions=functions, display=display, stats=stats)
+
+
+def _function_types(
+    name: str,
+    typing_input: ProcedureTypingInput,
+    result: ProcedureResult,
+    display: TypeDisplay,
+) -> FunctionTypes:
+    in_sketches = []
+    param_locations = []
+    for dtv in typing_input.formal_ins:
+        label = dtv.labels[0]
+        location = label.location if isinstance(label, InLabel) else str(label)
+        sketch = result.formal_in_sketches.get(dtv)
+        if sketch is None and result.shapes is not None and result.shapes.lookup(dtv) is not None:
+            sketch = result.shapes.sketch_for(dtv)
+        if sketch is None:
+            continue
+        in_sketches.append((location, sketch))
+        param_locations.append(location)
+    out_sketches = []
+    for dtv in typing_input.formal_outs:
+        sketch = result.formal_out_sketches.get(dtv)
+        if sketch is not None:
+            out_sketches.append(("eax", sketch))
+    function_type, param_names = display.function_type(in_sketches, out_sketches)
+    return FunctionTypes(
+        name=name,
+        function_type=function_type,
+        param_names=param_names,
+        param_locations=param_locations,
+        result=result,
+    )

@@ -1,0 +1,493 @@
+"""Constraint generation by abstract interpretation of the IR (Appendix A).
+
+For every procedure the generator walks the instructions once and emits type
+constraints over derived type variables:
+
+* every *definition site* of a register or stack slot gets its own type
+  variable (flow sensitivity via reaching definitions, Example A.2);
+* value copies produce subtype constraints (``Y <= X`` for ``x := y``);
+* loads and stores through registers produce ``.load.sigmaN@k`` /
+  ``.store.sigmaN@k`` constraints (Appendix A.3); no points-to analysis is
+  required beyond resolving stack-frame and global addresses;
+* ``lea`` and constant add/sub are tracked as *pointer offset aliases* so that
+  field accesses through moved pointers land on the right offset;
+* calls instantiate the callee's formal variables under a callsite-unique base
+  name (let-polymorphism, Appendix A.4) and record a
+  :class:`~repro.core.solver.Callsite` for the solver;
+* ``xor reg, reg`` and flag-only computations generate no constraints
+  (the semi-syntactic constant and bit-twiddling rules of sections 2.1/A.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..core.constraints import AddConstraint, ConstraintSet, SubConstraint
+from ..core.labels import FieldLabel, InLabel, Label, LoadLabel, OutLabel, StoreLabel
+from ..core.solver import Callsite, ProcedureTypingInput
+from ..core.variables import DerivedTypeVariable
+from ..ir.dataflow import ENTRY, Location, ReachingDefinitions, analyze_reaching_definitions
+from ..ir.instructions import (
+    WORD_SIZE,
+    BinaryOp,
+    Call,
+    Compare,
+    Imm,
+    Instruction,
+    Jcc,
+    Jmp,
+    LabelPseudo,
+    Lea,
+    Leave,
+    Mem,
+    Mov,
+    Nop,
+    Operand,
+    Pop,
+    Push,
+    Reg,
+    Ret,
+    is_zeroing_idiom,
+)
+from ..ir.locators import ProcedureInterface, discover_interface
+from ..ir.program import Procedure, Program
+from ..ir.stackanalysis import argument_location, frame_offset, is_argument_offset
+from .externs import ExternSignature, standard_externs
+
+LOAD = LoadLabel()
+STORE = StoreLabel()
+
+#: Bit-stealing masks treated as identity operations (Appendix A.5.2).
+_BITSTEAL_AND_MASKS = {0xFFFFFFFC, 0xFFFFFFF8, ~3 & 0xFFFFFFFF, -4, -8}
+_BITSTEAL_OR_MASKS = {1, 2, 3}
+
+#: Maximum distance (bytes) between an address-taken local and a direct access
+#: that we still attribute to the same stack object (a crude data delineation).
+_MAX_OBJECT_EXTENT = 64
+
+
+@dataclass
+class CalleeInfo:
+    """What the constraint generator needs to know about a call target."""
+
+    name: str
+    stack_params: int = 0
+    register_params: Tuple[str, ...] = ()
+    has_return: bool = True
+    known: bool = False
+
+    @property
+    def input_locations(self) -> List[str]:
+        locations = [f"stack{WORD_SIZE * j}" for j in range(self.stack_params)]
+        locations.extend(self.register_params)
+        return locations
+
+
+def callee_table(
+    program: Program,
+    interfaces: Mapping[str, ProcedureInterface],
+    externs: Mapping[str, ExternSignature],
+) -> Dict[str, CalleeInfo]:
+    """Combine internal interfaces and extern signatures into one lookup table."""
+    table: Dict[str, CalleeInfo] = {}
+    for name, interface in interfaces.items():
+        table[name] = CalleeInfo(
+            name=name,
+            stack_params=len(interface.stack_args),
+            register_params=tuple(interface.register_args),
+            has_return=interface.has_return,
+            known=True,
+        )
+    for name, signature in externs.items():
+        if name not in table:
+            table[name] = CalleeInfo(
+                name=name,
+                stack_params=signature.stack_params,
+                register_params=(),
+                has_return=signature.has_return,
+                known=True,
+            )
+    return table
+
+
+class ProcedureConstraintGenerator:
+    """Generates the constraint set for a single procedure."""
+
+    def __init__(
+        self,
+        procedure: Procedure,
+        interface: ProcedureInterface,
+        callees: Mapping[str, CalleeInfo],
+        reaching: Optional[ReachingDefinitions] = None,
+    ) -> None:
+        self.procedure = procedure
+        self.interface = interface
+        self.callees = callees
+        self.reaching = reaching or analyze_reaching_definitions(procedure)
+        self.constraints = ConstraintSet()
+        self.callsites: List[Callsite] = []
+        self._phi_cache: Dict[Tuple[int, Location], DerivedTypeVariable] = {}
+        self._aliases: Dict[DerivedTypeVariable, Tuple[DerivedTypeVariable, int]] = {}
+        self._frame_aliases: Dict[DerivedTypeVariable, int] = {}
+        self._address_taken: Set[int] = set()
+        self._fresh = 0
+
+    # -- type variable naming ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.procedure.name
+
+    def _location_name(self, location: Location) -> str:
+        if isinstance(location, int):
+            return f"stk{location}"
+        return location
+
+    def formal_in(self, location_name: str) -> DerivedTypeVariable:
+        return DerivedTypeVariable(self.name, (InLabel(location_name),))
+
+    def formal_out(self) -> DerivedTypeVariable:
+        return DerivedTypeVariable(self.name, (OutLabel("eax"),))
+
+    def def_var(self, location: Location, index: int) -> DerivedTypeVariable:
+        """Type variable for the definition of ``location`` at instruction ``index``."""
+        if index == ENTRY:
+            if isinstance(location, int) and is_argument_offset(location):
+                loc_name = argument_location(location)
+                if location in self.interface.stack_args:
+                    return self.formal_in(loc_name)
+                return DerivedTypeVariable(f"{self.name}~arg_{loc_name}")
+            if isinstance(location, str) and location in self.interface.register_args:
+                return self.formal_in(location)
+            return DerivedTypeVariable(f"{self.name}~{self._location_name(location)}@entry")
+        return DerivedTypeVariable(f"{self.name}~{self._location_name(location)}@{index}")
+
+    def use_var(self, location: Location, index: int) -> DerivedTypeVariable:
+        """Type variable for a use of ``location`` at instruction ``index``.
+
+        Single reaching definition: the definition's variable.  Multiple
+        reaching definitions: a join variable with one constraint per
+        definition (Example A.2 -- this is what defeats the "fortuitous reuse"
+        and stack-slot-reuse unification problems of section 2.1).
+        """
+        defs = sorted(self.reaching.reaching(index, location))
+        if len(defs) == 1:
+            return self.def_var(location, defs[0])
+        key = (index, location)
+        if key not in self._phi_cache:
+            var = DerivedTypeVariable(
+                f"{self.name}~phi_{self._location_name(location)}@{index}"
+            )
+            self._phi_cache[key] = var
+            for definition in defs:
+                self.constraints.add_subtype(self.def_var(location, definition), var)
+        return self._phi_cache[key]
+
+    def fresh(self, hint: str = "t") -> DerivedTypeVariable:
+        self._fresh += 1
+        return DerivedTypeVariable(f"{self.name}~{hint}{self._fresh}")
+
+    def global_var(self, symbol: str, offset: int = 0) -> DerivedTypeVariable:
+        suffix = f"_{offset}" if offset else ""
+        return DerivedTypeVariable(f"g_{symbol}{suffix}")
+
+    def object_var(self, offset: int) -> DerivedTypeVariable:
+        """Pointer-valued variable for the address of an address-taken local."""
+        return DerivedTypeVariable(f"{self.name}~addr{offset}")
+
+    # -- alias resolution ------------------------------------------------------------------
+
+    def _resolve_alias(
+        self, var: DerivedTypeVariable
+    ) -> Tuple[Optional[DerivedTypeVariable], int, Optional[int]]:
+        """Chase pointer-offset aliases.
+
+        Returns ``(base_var, delta, frame_offset)``: either ``base_var`` (with a
+        byte ``delta``) or ``frame_offset`` (address of a stack object) is set.
+        """
+        delta = 0
+        seen = set()
+        current = var
+        while current in self._aliases and current not in seen:
+            seen.add(current)
+            current, step = self._aliases[current]
+            delta += step
+        if current in self._frame_aliases:
+            return None, delta, self._frame_aliases[current] + delta
+        return current, delta, None
+
+    # -- memory access helpers ----------------------------------------------------------------
+
+    def _object_base(self, offset: int) -> Optional[int]:
+        """The address-taken object (if any) a direct slot access belongs to."""
+        candidates = [
+            taken
+            for taken in self._address_taken
+            if taken <= offset < taken + _MAX_OBJECT_EXTENT
+        ]
+        return max(candidates) if candidates else None
+
+    def load_source(self, memory: Mem, index: int) -> Optional[DerivedTypeVariable]:
+        """The derived type variable whose value a memory *read* produces."""
+        state = self.reaching.state(index)
+        offset = frame_offset(memory, state)
+        if offset is not None:
+            value = self.use_var(offset, index)
+            base = self._object_base(offset)
+            if base is not None:
+                field = FieldLabel(memory.size * 8, offset - base)
+                self.constraints.add_subtype(
+                    self.object_var(base).with_labels((LOAD, field)), value
+                )
+            return value
+        if memory.is_global:
+            return self.global_var(memory.base, memory.offset)
+        if memory.base is None or memory.index is not None and memory.base is None:
+            return None
+        pointer = self.use_var(memory.base, index)
+        base_var, delta, frame = self._resolve_alias(pointer)
+        if frame is not None:
+            # Reading through a pointer into our own frame: use the slot value.
+            slot = frame + memory.offset
+            return self.use_var(slot, index)
+        field = FieldLabel(memory.size * 8, memory.offset + delta)
+        return base_var.with_labels((LOAD, field))
+
+    def store_target(self, memory: Mem, index: int) -> Optional[DerivedTypeVariable]:
+        """The derived type variable a memory *write* flows into."""
+        state = self.reaching.state(index)
+        offset = frame_offset(memory, state)
+        if offset is not None:
+            target = self.def_var(offset, index)
+            base = self._object_base(offset)
+            if base is not None:
+                field = FieldLabel(memory.size * 8, offset - base)
+                self.constraints.add_subtype(
+                    target, self.object_var(base).with_labels((STORE, field))
+                )
+            return target
+        if memory.is_global:
+            return self.global_var(memory.base, memory.offset)
+        if memory.base is None:
+            return None
+        pointer = self.use_var(memory.base, index)
+        base_var, delta, frame = self._resolve_alias(pointer)
+        if frame is not None:
+            slot = frame + memory.offset
+            return self.def_var(slot, index)
+        field = FieldLabel(memory.size * 8, memory.offset + delta)
+        return base_var.with_labels((STORE, field))
+
+    # -- main generation loop ------------------------------------------------------------------
+
+    def generate(self) -> ProcedureTypingInput:
+        self._collect_address_taken()
+        for index, instruction in enumerate(self.procedure.instructions):
+            self._visit(index, instruction)
+        formal_ins = tuple(
+            self.formal_in(location) for location in self.interface.input_locations
+        )
+        formal_outs = (self.formal_out(),) if self.interface.has_return else ()
+        return ProcedureTypingInput(
+            name=self.name,
+            constraints=self.constraints,
+            formal_ins=formal_ins,
+            formal_outs=formal_outs,
+            callsites=tuple(self.callsites),
+        )
+
+    def _collect_address_taken(self) -> None:
+        for index, instruction in enumerate(self.procedure.instructions):
+            if isinstance(instruction, Lea):
+                offset = frame_offset(instruction.src, self.reaching.state(index))
+                if offset is not None:
+                    self._address_taken.add(offset)
+
+    def _visit(self, index: int, instruction: Instruction) -> None:
+        if isinstance(instruction, (LabelPseudo, Nop, Jmp, Jcc, Compare, Leave)):
+            return
+        if isinstance(instruction, Mov):
+            self._visit_mov(index, instruction)
+        elif isinstance(instruction, Lea):
+            self._visit_lea(index, instruction)
+        elif isinstance(instruction, BinaryOp):
+            self._visit_binop(index, instruction)
+        elif isinstance(instruction, Push):
+            self._visit_push(index, instruction)
+        elif isinstance(instruction, Pop):
+            self._visit_pop(index, instruction)
+        elif isinstance(instruction, Call):
+            self._visit_call(index, instruction)
+        elif isinstance(instruction, Ret):
+            self._visit_ret(index, instruction)
+
+    # -- individual instruction kinds ----------------------------------------------------------
+
+    def _value_of(self, operand: Operand, index: int) -> Optional[DerivedTypeVariable]:
+        if isinstance(operand, Reg):
+            if operand.name in ("esp", "ebp"):
+                return None
+            return self.use_var(operand.name, index)
+        if isinstance(operand, Mem):
+            return self.load_source(operand, index)
+        return None  # immediates carry no type information
+
+    def _visit_mov(self, index: int, instruction: Mov) -> None:
+        if isinstance(instruction.dst, Reg):
+            if instruction.dst.name in ("esp", "ebp"):
+                return
+            destination = self.def_var(instruction.dst.name, index)
+            source = self._value_of(instruction.src, index)
+            if source is not None:
+                self.constraints.add_subtype(source, destination)
+                # A register copy propagates pointer-offset aliases.
+                if isinstance(instruction.src, Reg):
+                    base_var, delta, frame = self._resolve_alias(source)
+                    if frame is not None:
+                        self._frame_aliases[destination] = frame
+                    elif delta and base_var is not None:
+                        self._aliases[destination] = (base_var, delta)
+        elif isinstance(instruction.dst, Mem):
+            target = self.store_target(instruction.dst, index)
+            source = self._value_of(instruction.src, index)
+            if target is not None and source is not None:
+                self.constraints.add_subtype(source, target)
+
+    def _visit_lea(self, index: int, instruction: Lea) -> None:
+        destination = self.def_var(instruction.dst.name, index)
+        offset = frame_offset(instruction.src, self.reaching.state(index))
+        if offset is not None:
+            # The register now holds the address of a stack object.
+            self._frame_aliases[destination] = offset
+            pointer = self.object_var(offset)
+            self.constraints.add_subtype(pointer, destination)
+            self.constraints.add_subtype(destination, pointer)
+            return
+        if instruction.src.base is not None and instruction.src.base not in ("esp", "ebp"):
+            if instruction.src.is_global:
+                base = self.global_var(instruction.src.base)
+                self.constraints.add_subtype(base, destination)
+                return
+            base = self.use_var(instruction.src.base, index)
+            resolved, delta, frame = self._resolve_alias(base)
+            if frame is not None:
+                self._frame_aliases[destination] = frame + instruction.src.offset
+            elif resolved is not None:
+                self._aliases[destination] = (resolved, delta + instruction.src.offset)
+
+    def _visit_binop(self, index: int, instruction: BinaryOp) -> None:
+        register = instruction.dst.name
+        if register in ("esp", "ebp"):
+            return
+        destination = self.def_var(register, index)
+        if is_zeroing_idiom(instruction):
+            return  # a semi-syntactic constant (section 2.1)
+        source_use = self.use_var(register, index)
+
+        if instruction.op in ("add", "sub") and isinstance(instruction.src, Imm):
+            sign = 1 if instruction.op == "add" else -1
+            base_var, delta, frame = self._resolve_alias(source_use)
+            if frame is not None:
+                self._frame_aliases[destination] = frame + sign * instruction.src.value
+            elif base_var is not None:
+                self._aliases[destination] = (base_var, delta + sign * instruction.src.value)
+            return
+
+        if instruction.op in ("add", "sub") and isinstance(instruction.src, Reg):
+            other = self.use_var(instruction.src.name, index)
+            constraint_cls = AddConstraint if instruction.op == "add" else SubConstraint
+            self.constraints.add(constraint_cls(source_use, other, destination))
+            return
+
+        if instruction.op == "and" and isinstance(instruction.src, Imm):
+            if instruction.src.value in _BITSTEAL_AND_MASKS:
+                self.constraints.add_subtype(source_use, destination)
+                return
+        if instruction.op == "or" and isinstance(instruction.src, Imm):
+            if instruction.src.value in _BITSTEAL_OR_MASKS:
+                self.constraints.add_subtype(source_use, destination)
+                return
+
+        # Remaining bit manipulation / multiplication: integral result.
+        self.constraints.add_subtype(destination, DerivedTypeVariable("int"))
+
+    def _visit_push(self, index: int, instruction: Push) -> None:
+        state = self.reaching.state(index)
+        if state.esp is None:
+            return
+        slot = state.esp - WORD_SIZE
+        destination = self.def_var(slot, index)
+        source = self._value_of(instruction.src, index)
+        if source is not None:
+            self.constraints.add_subtype(source, destination)
+
+    def _visit_pop(self, index: int, instruction: Pop) -> None:
+        if instruction.dst.name in ("esp", "ebp"):
+            return
+        state = self.reaching.state(index)
+        if state.esp is None:
+            return
+        slot = state.esp
+        destination = self.def_var(instruction.dst.name, index)
+        source = self.use_var(slot, index)
+        self.constraints.add_subtype(source, destination)
+
+    def _visit_call(self, index: int, instruction: Call) -> None:
+        if isinstance(instruction.target, Reg):
+            return  # indirect call: no interface information
+        callee = instruction.target
+        info = self.callees.get(callee, CalleeInfo(name=callee, known=False))
+        base = f"{callee}${self.name}_{index}"
+        state = self.reaching.state(index)
+
+        if info.stack_params and state.esp is not None:
+            for position in range(info.stack_params):
+                slot = state.esp + WORD_SIZE * position
+                actual = self.use_var(slot, index)
+                formal = DerivedTypeVariable(base, (InLabel(f"stack{WORD_SIZE * position}"),))
+                self.constraints.add_subtype(actual, formal)
+        for register in info.register_params:
+            actual = self.use_var(register, index)
+            formal = DerivedTypeVariable(base, (InLabel(register),))
+            self.constraints.add_subtype(actual, formal)
+        if info.has_return:
+            result = DerivedTypeVariable(base, (OutLabel("eax"),))
+            self.constraints.add_subtype(result, self.def_var("eax", index))
+        self.callsites.append(Callsite(callee=callee, base=base))
+
+    def _visit_ret(self, index: int, instruction: Ret) -> None:
+        if not self.interface.has_return:
+            return
+        defs = self.reaching.reaching(index, "eax")
+        if all(definition == ENTRY for definition in defs):
+            return
+        self.constraints.add_subtype(self.use_var("eax", index), self.formal_out())
+
+
+def generate_procedure_constraints(
+    procedure: Procedure,
+    interfaces: Mapping[str, ProcedureInterface],
+    callees: Mapping[str, CalleeInfo],
+) -> ProcedureTypingInput:
+    generator = ProcedureConstraintGenerator(
+        procedure, interfaces[procedure.name], callees
+    )
+    return generator.generate()
+
+
+def generate_program_constraints(
+    program: Program,
+    externs: Optional[Mapping[str, ExternSignature]] = None,
+) -> Dict[str, ProcedureTypingInput]:
+    """Generate constraints for every procedure of a program (Algorithm F.1's CONSTRAINTS)."""
+    externs = externs if externs is not None else standard_externs()
+    interfaces = {
+        name: discover_interface(procedure) for name, procedure in program.procedures.items()
+    }
+    callees = callee_table(program, interfaces, externs)
+    results: Dict[str, ProcedureTypingInput] = {}
+    for name, procedure in program.procedures.items():
+        generator = ProcedureConstraintGenerator(procedure, interfaces[name], callees)
+        results[name] = generator.generate()
+    return results

@@ -1,0 +1,131 @@
+"""Tests for the auxiliary lattice Lambda (section 3.5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import BOTTOM, TOP, TypeLattice, default_lattice
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return default_lattice()
+
+
+def test_top_and_bottom_order(lattice):
+    for element in lattice.elements:
+        assert lattice.leq(BOTTOM, element)
+        assert lattice.leq(element, TOP)
+
+
+def test_figure2_tags(lattice):
+    assert lattice.leq("#FileDescriptor", "int")
+    assert lattice.leq("#SuccessZ", "int")
+    assert lattice.meet("int", "#FileDescriptor") == "#FileDescriptor"
+    assert lattice.join("int", "#SuccessZ") == "int"
+
+
+def test_windows_handle_hierarchy(lattice):
+    # section 2.8: HGDI is a generic handle; HBRUSH/HPEN are more specific.
+    assert lattice.leq("HBRUSH", "HGDI")
+    assert lattice.leq("HPEN", "HANDLE")
+    assert lattice.join("HBRUSH", "HPEN") == "HGDI"
+
+
+def test_incomparable_join_goes_up(lattice):
+    assert lattice.join("float", "int") == TOP
+    assert lattice.meet("float", "int") == BOTTOM
+
+
+def test_join_meet_identity_elements(lattice):
+    assert lattice.join("int", BOTTOM) == "int"
+    assert lattice.meet("int", TOP) == "int"
+    assert lattice.join("int", TOP) == TOP
+    assert lattice.meet("int", BOTTOM) == BOTTOM
+
+
+def test_user_extension():
+    lattice = default_lattice()
+    lattice.add_tag("#packet-length", "int")
+    assert "#packet-length" in lattice
+    assert lattice.leq("#packet-length", "int")
+    assert lattice.leq("#packet-length", "num32")
+    lattice.add_element("HWND", ["HANDLE"])
+    assert lattice.leq("HWND", "ptr")
+
+
+def test_unknown_parent_is_created():
+    lattice = TypeLattice({"child": ["made_up_parent"]})
+    assert "made_up_parent" in lattice
+    assert lattice.leq("child", "made_up_parent")
+
+
+def test_antichain_merges_comparable_elements(lattice):
+    antichain = lattice.antichain(["int", "#FileDescriptor", "float"])
+    assert "#FileDescriptor" in antichain
+    assert "int" not in antichain  # replaced by the more specific element
+    assert "float" in antichain
+
+
+def test_scalar_check(lattice):
+    assert lattice.check_scalar("#FileDescriptor", "int")
+    assert not lattice.check_scalar("int", "#FileDescriptor")
+
+
+def test_is_constant(lattice):
+    assert lattice.is_constant("int")
+    assert lattice.is_constant(TOP)
+    assert not lattice.is_constant("some_program_variable")
+
+
+_elements = st.sampled_from(
+    ["int", "uint", "char", "num32", "num8", "float", "ptr", "str", "size_t", "#FileDescriptor", TOP, BOTTOM]
+)
+
+
+@given(_elements, _elements)
+def test_join_is_commutative(a, b):
+    lattice = default_lattice()
+    assert lattice.join(a, b) == lattice.join(b, a)
+
+
+@given(_elements, _elements)
+def test_meet_is_commutative(a, b):
+    lattice = default_lattice()
+    assert lattice.meet(a, b) == lattice.meet(b, a)
+
+
+@given(_elements)
+def test_join_meet_idempotent(a):
+    lattice = default_lattice()
+    assert lattice.join(a, a) == a
+    assert lattice.meet(a, a) == a
+
+
+@given(_elements, _elements)
+def test_join_is_an_upper_bound(a, b):
+    lattice = default_lattice()
+    join = lattice.join(a, b)
+    assert lattice.leq(a, join)
+    assert lattice.leq(b, join)
+
+
+@given(_elements, _elements)
+def test_meet_is_a_lower_bound(a, b):
+    lattice = default_lattice()
+    meet = lattice.meet(a, b)
+    assert lattice.leq(meet, a)
+    assert lattice.leq(meet, b)
+
+
+@given(_elements, _elements)
+def test_leq_antisymmetric(a, b):
+    lattice = default_lattice()
+    if lattice.leq(a, b) and lattice.leq(b, a):
+        assert a == b
+
+
+@given(_elements, _elements, _elements)
+def test_leq_transitive(a, b, c):
+    lattice = default_lattice()
+    if lattice.leq(a, b) and lattice.leq(b, c):
+        assert lattice.leq(a, c)

@@ -1,0 +1,164 @@
+"""Tests for INFERSHAPES (Theorem 3.1), the ADD/SUB rules (Figure 13), and type schemes."""
+
+import pytest
+
+from repro.core import (
+    AddConstraint,
+    ConstraintSet,
+    DerivedTypeVariable,
+    LoadLabel,
+    StoreLabel,
+    TypeScheme,
+    default_lattice,
+    field,
+    infer_shapes,
+    parse_constraints,
+    parse_dtv,
+)
+
+LOAD = LoadLabel()
+STORE = StoreLabel()
+
+
+def test_subtype_constraints_unify_shapes():
+    constraints = parse_constraints(["a <= b", "b <= c"])
+    shapes = infer_shapes(constraints, default_lattice())
+    assert shapes.lookup(parse_dtv("a")) == shapes.lookup(parse_dtv("c"))
+
+
+def test_congruence_propagates_to_children():
+    constraints = parse_constraints(["a <= b", "a.load.sigma32@0 <= x", "b.load.sigma32@0 <= y"])
+    shapes = infer_shapes(constraints, default_lattice())
+    assert shapes.lookup(parse_dtv("x")) == shapes.lookup(parse_dtv("y"))
+
+
+def test_load_store_children_are_identified():
+    """The S-POINTER identification: what is stored can be loaded back."""
+    constraints = parse_constraints(["v <= p.store.sigma32@0", "p.load.sigma32@0 <= w"])
+    shapes = infer_shapes(constraints, default_lattice())
+    assert shapes.lookup(parse_dtv("v")) == shapes.lookup(parse_dtv("w"))
+
+
+def test_capability_paths_match_theorem_3_1():
+    constraints = parse_constraints(
+        ["f.in_stack0 <= t", "t.load.sigma32@0 <= t", "t.load.sigma32@4 <= int"]
+    )
+    shapes = infer_shapes(constraints, default_lattice())
+    formal = DerivedTypeVariable("f", (parse_dtv("f.in_stack0").labels[0],))
+    sketch = shapes.sketch_for(formal)
+    assert sketch.accepts([LOAD, field(32, 0), LOAD, field(32, 4)])
+    assert sketch.is_recursive()
+
+
+def test_constant_bounds_recorded_per_class():
+    constraints = parse_constraints(["int <= x", "x <= num32", "x <= y"])
+    shapes = infer_shapes(constraints, default_lattice())
+    lower, upper = shapes.bounds(shapes.lookup(parse_dtv("x")))
+    assert lower == "int"
+    assert upper == "num32"
+
+
+def test_scalar_constant_pairs_checked_not_unified():
+    constraints = parse_constraints(["int <= num32"])
+    shapes = infer_shapes(constraints, default_lattice())
+    assert ("int", "num32") in shapes.scalar_checks
+
+
+def test_capability_queries():
+    constraints = parse_constraints(["p.load.sigma32@0 <= x", "y <= p.store.sigma32@4"])
+    shapes = infer_shapes(constraints, default_lattice())
+    assert shapes.has_capability(parse_dtv("p"), LOAD)
+    assert shapes.has_capability(parse_dtv("p"), STORE)
+    assert not shapes.has_capability(parse_dtv("x"), LOAD)
+
+
+def test_add_constraint_marks_and_unifies_pointer_arithmetic():
+    constraints = ConstraintSet()
+    # z = p + i, followed by a load through z: p must become a pointer with the
+    # same structure as z (array indexing).
+    constraints.update(parse_constraints(["p.load.sigma32@0 <= w", "i <= int", "z.load.sigma32@0 <= v"]))
+    constraints.add(AddConstraint(parse_dtv("p"), parse_dtv("i"), parse_dtv("z")))
+    shapes = infer_shapes(constraints, default_lattice())
+    assert shapes.is_pointer(shapes.lookup(parse_dtv("p")))
+    assert shapes.is_integer(shapes.lookup(parse_dtv("i")))
+    assert shapes.lookup(parse_dtv("p")) == shapes.lookup(parse_dtv("z"))
+    # and the loaded values coincide
+    assert shapes.lookup(parse_dtv("w")) == shapes.lookup(parse_dtv("v"))
+
+
+def test_sub_constraint_integer_result():
+    constraints = ConstraintSet()
+    constraints.update(parse_constraints(["a <= int", "b <= int"]))
+    from repro.core import SubConstraint
+
+    constraints.add(SubConstraint(parse_dtv("a"), parse_dtv("b"), parse_dtv("c")))
+    shapes = infer_shapes(constraints, default_lattice())
+    assert shapes.is_integer(shapes.lookup(parse_dtv("c")))
+
+
+def test_clear_bounds():
+    constraints = parse_constraints(["int <= x"])
+    shapes = infer_shapes(constraints, default_lattice())
+    shapes.clear_bounds()
+    lower, upper = shapes.bounds(shapes.lookup(parse_dtv("x")))
+    assert lower == "BOTTOM" or lower == "BOTTOM".upper() or lower.upper() == "BOTTOM"
+
+
+# -- type schemes -------------------------------------------------------------------------
+
+
+def _scheme():
+    constraints = parse_constraints(
+        ["f.in_stack0 <= τ0", "τ0.load.sigma32@0 <= τ0", "τ0.load.sigma32@4 <= #FileDescriptor"]
+    )
+    return TypeScheme(
+        proc="f",
+        constraints=constraints,
+        quantified=frozenset({"τ0"}),
+        formal_ins=(parse_dtv("f.in_stack0"),),
+    )
+
+
+def test_scheme_instantiate_renames_everything():
+    scheme = _scheme()
+    name, constraints = scheme.instantiate("site1")
+    assert name == "f$site1"
+    bases = {c.left.base for c in constraints} | {c.right.base for c in constraints}
+    assert "f" not in bases
+    assert "τ0" not in bases
+    assert any(base.startswith("τ0$") for base in bases)
+
+
+def test_scheme_instantiate_as_uses_given_base():
+    scheme = _scheme()
+    constraints = scheme.instantiate_as("f$0x401000")
+    bases = {c.left.base for c in constraints} | {c.right.base for c in constraints}
+    assert "f$0x401000" in bases
+    assert "f" not in bases
+
+
+def test_polymorphic_instantiations_do_not_share_existentials():
+    scheme = _scheme()
+    first = scheme.instantiate_as("f$a")
+    second = scheme.instantiate_as("f$b")
+    bases_first = {c.left.base for c in first} | {c.right.base for c in first}
+    bases_second = {c.left.base for c in second} | {c.right.base for c in second}
+    shared_existentials = {
+        b for b in bases_first & bases_second if b.startswith("τ")
+    }
+    assert not shared_existentials
+
+
+def test_monomorphic_instantiations_share_existentials():
+    scheme = _scheme()
+    first = scheme.instantiate_monomorphic("f$a")
+    second = scheme.instantiate_monomorphic("f$b")
+    bases_first = {c.left.base for c in first} | {c.right.base for c in first}
+    bases_second = {c.left.base for c in second} | {c.right.base for c in second}
+    assert "τ0" in bases_first and "τ0" in bases_second
+
+
+def test_scheme_str_mentions_quantifier():
+    text = str(_scheme())
+    assert text.startswith("∀f.")
+    assert "τ0" in text

@@ -1,0 +1,142 @@
+"""Tests for derived type variables and constraint sets (Definitions 3.1, 3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    AddConstraint,
+    ConstraintSet,
+    DerivedTypeVariable,
+    LoadLabel,
+    StoreLabel,
+    SubtypeConstraint,
+    field,
+    fresh_var,
+    in_label,
+    parse_constraint,
+    parse_constraints,
+    parse_dtv,
+)
+from repro.core.labels import FieldLabel
+
+
+def test_dtv_construction_and_str():
+    dtv = DerivedTypeVariable("F", (in_label("stack0"), LoadLabel(), field(32, 4)))
+    assert str(dtv) == "F.in_stack0.load.sigma32@4"
+    assert dtv.base == "F"
+    assert dtv.depth == 3
+    assert dtv.last_label == field(32, 4)
+
+
+def test_dtv_prefix_chain():
+    dtv = parse_dtv("F.load.sigma32@0")
+    prefixes = list(dtv.prefixes())
+    assert [str(p) for p in prefixes] == ["F", "F.load"]
+    assert dtv.prefix == parse_dtv("F.load")
+    assert parse_dtv("F").prefix is None
+
+
+def test_dtv_with_label_and_base():
+    dtv = parse_dtv("x")
+    extended = dtv.with_label(LoadLabel()).with_label(field(32, 8))
+    assert str(extended) == "x.load.sigma32@8"
+    assert str(extended.with_base("y")) == "y.load.sigma32@8"
+    assert extended.base_var == parse_dtv("x")
+
+
+def test_parse_dtv_roundtrip():
+    for text in ("x", "F.in_stack0", "p.load.sigma32@4", "f.out_eax", "q.store.sigma8@0"):
+        assert str(parse_dtv(text)) == text
+
+
+def test_fresh_vars_are_distinct():
+    assert fresh_var() != fresh_var()
+
+
+def test_parse_constraint_forms():
+    c = parse_constraint("a.load <= b")
+    assert c == SubtypeConstraint(parse_dtv("a.load"), parse_dtv("b"))
+    # Unicode forms used in the paper are accepted too.
+    assert parse_constraint("a ⊑ b") == parse_constraint("a <= b")
+    assert parse_constraint("a <: b") == parse_constraint("a <= b")
+    with pytest.raises(ValueError):
+        parse_constraint("a b")
+
+
+def test_constraint_set_behaves_like_a_set():
+    cs = parse_constraints(["a <= b", "b <= c", "a <= b"])
+    assert len(cs) == 2
+    assert parse_constraint("a <= b") in cs
+    assert parse_constraint("c <= a") not in cs
+    texts = {str(c) for c in cs}
+    assert texts == {"a <= b", "b <= c"}
+
+
+def test_constraint_set_derived_type_variables_include_prefixes():
+    cs = parse_constraints(["x.load.sigma32@4 <= y"])
+    dtvs = {str(d) for d in cs.derived_type_variables()}
+    assert dtvs == {"x", "x.load", "x.load.sigma32@4", "y"}
+    assert cs.base_variables() == {"x", "y"}
+
+
+def test_constraint_set_union_and_update():
+    a = parse_constraints(["a <= b"])
+    b = parse_constraints(["b <= c"])
+    union = a.union(b)
+    assert len(union) == 2
+    a.update(b)
+    assert a == union
+
+
+def test_substitution_renames_bases_only():
+    cs = parse_constraints(["f.in_stack0 <= t", "t.load <= f.out_eax"])
+    renamed = cs.substitute({"f": "f$1", "t": "t$1"})
+    texts = {str(c) for c in renamed}
+    assert texts == {"f$1.in_stack0 <= t$1", "t$1.load <= f$1.out_eax"}
+
+
+def test_additive_constraints_tracked_separately():
+    cs = ConstraintSet()
+    cs.add(AddConstraint(parse_dtv("a"), parse_dtv("b"), parse_dtv("c")))
+    assert len(cs) == 0
+    assert len(cs.additive) == 1
+    dtvs = {str(d) for d in cs.derived_type_variables()}
+    assert dtvs == {"a", "b", "c"}
+
+
+def test_constraints_mentioning():
+    cs = parse_constraints(["a <= b", "b.load <= c"])
+    assert len(cs.constraints_mentioning("b")) == 2
+    assert len(cs.constraints_mentioning("c")) == 1
+    assert cs.constraints_mentioning("zzz") == []
+
+
+_base_names = st.sampled_from(["a", "b", "c", "f", "g"])
+_labels = st.lists(
+    st.sampled_from([LoadLabel(), StoreLabel(), FieldLabel(32, 0), FieldLabel(32, 4), in_label("stack0")]),
+    max_size=4,
+)
+
+
+@given(_base_names, _labels)
+def test_dtv_str_parse_roundtrip_property(base, labels):
+    dtv = DerivedTypeVariable(base, tuple(labels))
+    assert parse_dtv(str(dtv)) == dtv
+
+
+@given(_base_names, _labels, _base_names, _labels)
+def test_constraint_str_parse_roundtrip_property(base_l, labels_l, base_r, labels_r):
+    constraint = SubtypeConstraint(
+        DerivedTypeVariable(base_l, tuple(labels_l)),
+        DerivedTypeVariable(base_r, tuple(labels_r)),
+    )
+    assert parse_constraint(str(constraint)) == constraint
+
+
+@given(st.lists(st.tuples(_base_names, _base_names), max_size=10))
+def test_constraint_set_idempotent_union(pairs):
+    cs = ConstraintSet()
+    for left, right in pairs:
+        cs.add_subtype(parse_dtv(left), parse_dtv(right))
+    assert cs.union(cs) == cs
+    assert len(cs) <= len(pairs)

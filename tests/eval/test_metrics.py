@@ -1,0 +1,174 @@
+"""Tests for the evaluation metrics (TIE distance, conservativeness, pointer accuracy, const recall)."""
+
+import pytest
+
+from repro.core import (
+    IntType,
+    PointerType,
+    Sketch,
+    StructRef,
+    StructType,
+    TypedefType,
+    UnknownType,
+    VoidType,
+    default_lattice,
+    field,
+)
+from repro.core.ctype import StructField
+from repro.core.labels import LoadLabel, StoreLabel
+from repro.eval.metrics import (
+    MAX_DISTANCE,
+    interval_size_from_sketch,
+    is_conservative,
+    pointer_accuracy,
+    sketch_conservative,
+    type_distance,
+)
+
+LOAD = LoadLabel()
+STORE = StoreLabel()
+
+INT = IntType(32, True)
+CHAR = IntType(8, True)
+NODE = StructType("node", (StructField(0, PointerType(StructRef("node"))), StructField(4, INT)))
+STRUCTS = {"node": NODE}
+
+
+# -- distance --------------------------------------------------------------------------
+
+
+def test_distance_exact_match_is_zero():
+    assert type_distance(INT, INT) == 0.0
+    assert type_distance(PointerType(INT), PointerType(INT)) == 0.0
+
+
+def test_distance_unknown_is_middling():
+    assert type_distance(UnknownType(), INT) == 2.0
+    assert type_distance(None, INT) == MAX_DISTANCE
+
+
+def test_distance_scalar_vs_pointer_is_large():
+    assert type_distance(INT, PointerType(INT)) == 2.5
+    assert type_distance(PointerType(INT), INT) == 2.5
+
+
+def test_distance_pointer_recursion_halves():
+    inferred = PointerType(CHAR)
+    truth = PointerType(INT)
+    assert type_distance(inferred, truth) == pytest.approx(0.5 * type_distance(CHAR, INT))
+
+
+def test_distance_signedness_and_size():
+    assert type_distance(IntType(32, False), INT) == 0.5
+    assert type_distance(IntType(8, True), INT) == 1.0
+
+
+def test_distance_typedef_transparent():
+    fd = TypedefType("#FileDescriptor", INT)
+    assert type_distance(fd, INT) == 0.0
+
+
+def test_distance_struct_fields_compared_by_offset():
+    inferred = StructType("s", (StructField(0, PointerType(StructRef("s"))), StructField(4, INT)))
+    assert type_distance(inferred, NODE, {"s": inferred}, STRUCTS) == 0.0
+    worse = StructType("s", (StructField(0, INT), StructField(4, INT)))
+    assert type_distance(worse, NODE, {"s": worse}, STRUCTS) > 0.5
+
+
+def test_distance_pointer_to_struct():
+    inferred = PointerType(StructRef("node"))
+    assert type_distance(inferred, PointerType(StructRef("node")), STRUCTS, STRUCTS) == 0.0
+
+
+# -- conservativeness (displayed types) ----------------------------------------------------
+
+
+def test_conservative_unknown_is_always_ok():
+    assert is_conservative(UnknownType(), PointerType(INT))
+    assert is_conservative(None, INT)
+
+
+def test_conservative_int_for_pointer_is_not_ok():
+    assert not is_conservative(INT, PointerType(INT))
+
+
+def test_conservative_pointer_for_int_is_not_ok():
+    assert not is_conservative(PointerType(INT), INT)
+
+
+def test_conservative_wider_int_is_ok():
+    assert is_conservative(INT, CHAR)
+    assert not is_conservative(CHAR, INT)
+
+
+# -- conservativeness (sketch intervals) -----------------------------------------------------
+
+
+def _sketch():
+    return Sketch(default_lattice())
+
+
+def test_sketch_unconstrained_is_conservative():
+    assert sketch_conservative(_sketch(), INT)
+    assert sketch_conservative(_sketch(), PointerType(INT))
+
+
+def test_sketch_pointer_claim_on_int_is_not_conservative():
+    sketch = _sketch()
+    sketch.add_path([LOAD])
+    assert not sketch_conservative(sketch, INT)
+    assert sketch_conservative(sketch, PointerType(INT))
+
+
+def test_sketch_scalar_bound_must_be_comparable():
+    sketch = _sketch()
+    sketch.nodes[sketch.root].upper = "#FileDescriptor"
+    assert sketch_conservative(sketch, INT)  # #FileDescriptor <= int: comparable
+    sketch2 = _sketch()
+    sketch2.nodes[sketch2.root].upper = "str"
+    assert not sketch_conservative(sketch2, INT)
+
+
+def test_sketch_field_beyond_struct_is_not_conservative():
+    sketch = _sketch()
+    pointee = sketch.add_node()
+    sketch.add_edge(sketch.root, LOAD, pointee)
+    sketch.add_edge(pointee, field(32, 4), sketch.add_node())
+    assert sketch_conservative(sketch, PointerType(StructRef("node")), STRUCTS)
+    # claiming a field in the middle of the 8-byte struct that does not exist
+    sketch.add_edge(pointee, field(32, 2), sketch.add_node())
+    assert not sketch_conservative(sketch, PointerType(StructRef("node")), STRUCTS)
+
+
+# -- pointer accuracy ----------------------------------------------------------------------------
+
+
+def test_pointer_accuracy_only_for_pointer_truths():
+    assert pointer_accuracy(INT, INT) is None
+    assert pointer_accuracy(PointerType(INT), PointerType(INT)) == 1.0
+    assert pointer_accuracy(INT, PointerType(INT)) == 0.0
+
+
+def test_pointer_accuracy_partial_levels():
+    two_level = PointerType(PointerType(INT))
+    assert pointer_accuracy(PointerType(INT), two_level) == 0.5
+    assert pointer_accuracy(two_level, PointerType(INT)) == 0.5
+    assert pointer_accuracy(None, two_level) == 0.0
+
+
+# -- interval size -------------------------------------------------------------------------------
+
+
+def test_interval_size_unconstrained_is_max():
+    assert interval_size_from_sketch(_sketch()) == MAX_DISTANCE
+    assert interval_size_from_sketch(None) == MAX_DISTANCE
+
+
+def test_interval_size_shrinks_with_bounds_and_structure():
+    bounded = _sketch()
+    bounded.nodes[bounded.root].lower = "int"
+    bounded.nodes[bounded.root].upper = "int"
+    assert interval_size_from_sketch(bounded) == 0.0
+    structured = _sketch()
+    structured.add_path([LOAD])
+    assert interval_size_from_sketch(structured) < MAX_DISTANCE

@@ -1,0 +1,212 @@
+"""Tests for the mini-C frontend: parsing, type checking, code generation."""
+
+import pytest
+
+from repro.core.ctype import IntType, PointerType, StructRef
+from repro.frontend import (
+    CodegenOptions,
+    ParseError,
+    TypeCheckError,
+    compile_c,
+    parse_c,
+    typecheck,
+)
+from repro.ir import Call, Mov, Push, analyze_stack, discover_interface
+
+
+LINKED_LIST = """
+struct LL {
+    struct LL * next;
+    int handle;
+};
+
+int close_last(const struct LL * list) {
+    while (list->next != NULL) {
+        list = list->next;
+    }
+    return close(list->handle);
+}
+"""
+
+
+POINTERS = """
+struct point {
+    int x;
+    int y;
+};
+
+int get_y(const struct point * p) {
+    return p->y;
+}
+
+void set_y(struct point * p, int value) {
+    p->y = value;
+}
+
+int sum(struct point * p) {
+    int total;
+    total = get_y(p) + p->x;
+    return total;
+}
+"""
+
+
+def test_parse_struct_and_function():
+    unit = parse_c(LINKED_LIST)
+    assert len(unit.structs) == 1
+    assert unit.structs[0].name == "LL"
+    assert unit.function("close_last").params[0].name == "list"
+
+
+def test_typecheck_records_layout():
+    checked = typecheck(parse_c(LINKED_LIST))
+    layout = checked.layout("LL")
+    assert layout.field_offset("next") == 0
+    assert layout.field_offset("handle") == 4
+    assert layout.size == 8
+
+
+def test_ground_truth_const_params():
+    result = compile_c(LINKED_LIST)
+    truth = result.ground_truth.function("close_last")
+    assert truth.arity == 1
+    assert truth.param_const == [True]
+    assert isinstance(truth.params[0][1], PointerType)
+    assert truth.return_type == IntType(32, True)
+
+
+def test_compiled_code_shape():
+    result = compile_c(LINKED_LIST)
+    proc = result.program.procedure("close_last")
+    text = str(proc)
+    assert "call close" in text
+    assert "push ebp" in text
+    assert "leave" in text
+    # interface discovery sees one stack argument and a return value
+    interface = discover_interface(proc)
+    assert interface.stack_args == (4,)
+    assert interface.has_return
+    # the stack is balanced at the return
+    states = analyze_stack(proc)
+    ret_index = len(proc.instructions) - 1
+    assert states[ret_index].esp == 0
+
+
+def test_externs_are_declared():
+    result = compile_c(LINKED_LIST)
+    assert "close" in result.program.externs
+
+
+def test_multi_function_program():
+    result = compile_c(POINTERS)
+    assert set(result.program.procedures) == {"get_y", "set_y", "sum"}
+    truth = result.ground_truth
+    assert truth.function("get_y").param_const == [True]
+    assert truth.function("set_y").param_const == [False, False]
+    assert truth.function("set_y").return_type is None
+    assert "call get_y" in str(result.program.procedure("sum"))
+
+
+def test_xor_zero_option():
+    source = "int f(void) { return 0; }"
+    with_xor = compile_c(source, CodegenOptions(xor_zero=True))
+    without_xor = compile_c(source, CodegenOptions(xor_zero=False))
+    assert "xor eax, eax" in str(with_xor.program.procedure("f"))
+    assert "xor eax, eax" not in str(without_xor.program.procedure("f"))
+
+
+def test_stack_slot_reuse_option():
+    source = """
+    int f(int flag) {
+        if (flag) {
+            int a;
+            a = 1;
+            return a;
+        } else {
+            int b;
+            b = 2;
+            return b;
+        }
+    }
+    """
+    reused = compile_c(source, CodegenOptions(reuse_stack_slots=True))
+    separate = compile_c(source, CodegenOptions(reuse_stack_slots=False))
+    reused_text = str(reused.program.procedure("f"))
+    assert reused.program.procedure("f").size >= 10
+    # With reuse both locals share [ebp-4]; without, one lives at [ebp-8].
+    assert "[ebp-8]" not in reused_text
+    assert "[ebp-8]" in str(separate.program.procedure("f"))
+
+
+def test_malloc_cast_and_sizeof():
+    source = """
+    struct node {
+        struct node * next;
+        int value;
+    };
+
+    struct node * make_node(int value) {
+        struct node * n;
+        n = (struct node *) malloc(sizeof(struct node));
+        n->value = value;
+        n->next = NULL;
+        return n;
+    }
+    """
+    result = compile_c(source)
+    proc = result.program.procedure("make_node")
+    assert "call malloc" in str(proc)
+    assert "malloc" in result.program.externs
+
+
+def test_parse_error_is_reported():
+    with pytest.raises(ParseError):
+        parse_c("int f( { }")
+
+
+def test_typecheck_rejects_unknown_identifier():
+    with pytest.raises(TypeCheckError):
+        compile_c("int f(void) { return x; }")
+
+
+def test_typecheck_rejects_bad_deref():
+    with pytest.raises(TypeCheckError):
+        compile_c("int f(int x) { return *x; }")
+
+
+def test_global_variables():
+    source = """
+    int counter;
+
+    void bump(int n) {
+        counter = counter + n;
+    }
+
+    int get(void) {
+        return counter;
+    }
+    """
+    result = compile_c(source)
+    assert "g_counter" in result.program.globals
+    assert "[g_counter]" in str(result.program.procedure("get"))
+
+
+def test_array_indexing_and_pointer_arithmetic():
+    source = """
+    int sum(const int * values, int count) {
+        int total;
+        int i;
+        total = 0;
+        i = 0;
+        while (i < count) {
+            total = total + values[i];
+            i = i + 1;
+        }
+        return total;
+    }
+    """
+    result = compile_c(source)
+    truth = result.ground_truth.function("sum")
+    assert truth.param_const == [True, False]
+    proc = result.program.procedure("sum")
+    assert proc.size > 15

@@ -1,0 +1,190 @@
+"""Finer-grained tests for the mini-C lexer, parser and type checker."""
+
+import pytest
+
+from repro.core.ctype import IntType, PointerType, StructRef, VoidType
+from repro.frontend import ParseError, TypeCheckError, parse_c, tokenize, typecheck
+from repro.frontend.ast import (
+    Assign,
+    Binary,
+    Call,
+    Cast,
+    FieldAccess,
+    If,
+    Index,
+    IntLit,
+    Name,
+    Return,
+    SizeOf,
+    Unary,
+    While,
+)
+
+
+def test_tokenizer_basics():
+    tokens = tokenize("int f(void) { return x + 0x10; } // comment")
+    kinds = [t.kind for t in tokens]
+    assert "eof" == kinds[-1]
+    values = [t.value for t in tokens if t.kind != "eof"]
+    assert "0x10" in values
+    assert "//" not in " ".join(values)
+
+
+def test_tokenizer_reports_bad_character():
+    from repro.frontend import LexError
+
+    with pytest.raises(LexError):
+        tokenize("int f() { return `; }")
+
+
+def test_parse_expression_precedence():
+    unit = parse_c("int f(int a, int b) { return a + b * 2; }")
+    ret = unit.function("f").body[0]
+    assert isinstance(ret, Return)
+    assert isinstance(ret.value, Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.right, Binary) and ret.value.right.op == "*"
+
+
+def test_parse_pointer_and_const_types():
+    unit = parse_c("int f(const char * s, int ** pp) { return 0; }")
+    params = unit.function("f").params
+    assert isinstance(params[0].ctype, PointerType) and params[0].ctype.const
+    assert params[0].is_const
+    assert isinstance(params[1].ctype, PointerType)
+    assert isinstance(params[1].ctype.pointee, PointerType)
+    assert not params[1].is_const
+
+
+def test_parse_struct_access_chain():
+    unit = parse_c(
+        """
+        struct s { int v; };
+        int f(struct s * p) { return p->v; }
+        """
+    )
+    ret = unit.function("f").body[0]
+    assert isinstance(ret.value, FieldAccess)
+    assert ret.value.arrow
+
+
+def test_parse_cast_vs_parenthesized_expression():
+    unit = parse_c("int f(int x) { return (int) x + (x); }")
+    ret = unit.function("f").body[0]
+    assert isinstance(ret.value, Binary)
+    assert isinstance(ret.value.left, Cast)
+
+
+def test_parse_sizeof_and_null():
+    unit = parse_c("unsigned f(void) { return sizeof(struct missing); }")
+    ret = unit.function("f").body[0]
+    assert isinstance(ret.value, SizeOf)
+
+
+def test_parse_control_flow_nesting():
+    unit = parse_c(
+        """
+        int f(int n) {
+            int total;
+            total = 0;
+            while (n > 0) {
+                if (n > 10) {
+                    total = total + 2;
+                } else {
+                    total = total + 1;
+                }
+                n = n - 1;
+            }
+            return total;
+        }
+        """
+    )
+    body = unit.function("f").body
+    assert any(isinstance(s, While) for s in body)
+
+
+def test_parse_prototype_and_globals():
+    unit = parse_c(
+        """
+        extern int helper(int x);
+        int counter;
+        int f(void) { return helper(counter); }
+        """
+    )
+    assert unit.function("helper").body is None
+    assert unit.globals[0].name == "counter"
+
+
+def test_parse_error_on_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_c("int f(void) { return 1 }")
+
+
+# -- type checking ------------------------------------------------------------------------
+
+
+def test_typecheck_annotates_expressions():
+    unit = parse_c(
+        """
+        struct s { int v; struct s * next; };
+        int f(struct s * p) { return p->next->v; }
+        """
+    )
+    checked = typecheck(unit)
+    ret = unit.function("f").body[0]
+    assert ret.value.ctype == IntType(32, True)
+    assert isinstance(ret.value.obj.ctype, PointerType)
+
+
+def test_typecheck_pointer_arithmetic_type():
+    unit = parse_c("int f(int * p, int i) { return *(p + i); }")
+    typecheck(unit)
+    ret = unit.function("f").body[0]
+    assert ret.value.ctype == IntType(32, True)
+
+
+def test_typecheck_rejects_arity_mismatch():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_c("int f(void) { return close(1, 2); }"))
+
+
+def test_typecheck_rejects_unknown_function():
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_c("int f(void) { return launch_missiles(); }"))
+
+
+def test_typecheck_rejects_unknown_struct_field():
+    source = """
+    struct s { int v; };
+    int f(struct s * p) { return p->missing; }
+    """
+    with pytest.raises((TypeCheckError, KeyError)):
+        typecheck(parse_c(source))
+
+
+def test_typecheck_rejects_struct_by_value_params():
+    source = """
+    struct s { int v; };
+    int f(struct s value) { return 0; }
+    """
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_c(source))
+
+
+def test_typecheck_scopes_block_locals():
+    source = """
+    int f(int flag) {
+        if (flag) {
+            int inner;
+            inner = 1;
+        }
+        return inner;
+    }
+    """
+    with pytest.raises(TypeCheckError):
+        typecheck(parse_c(source))
+
+
+def test_typecheck_known_externs_have_signatures():
+    checked = typecheck(parse_c("int f(void) { return close(3); }"))
+    assert "close" in checked.signatures
+    assert checked.signatures["close"].is_extern

@@ -1,0 +1,92 @@
+"""Unit tests for the instruction model: operands, defs/uses, idiom detection."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    Call,
+    Compare,
+    Imm,
+    Jcc,
+    Jmp,
+    Leave,
+    Mem,
+    Mov,
+    Pop,
+    Push,
+    Reg,
+    Ret,
+    is_zeroing_idiom,
+)
+
+
+def test_register_validation():
+    with pytest.raises(ValueError):
+        Reg("rax")  # 64-bit registers are not part of the 32-bit substrate
+    assert Reg("eax").name == "eax"
+
+
+def test_mem_classification():
+    assert Mem("esp", 4).is_register_based
+    assert not Mem("esp", 4).is_global
+    assert Mem("counter", 0).is_global
+    assert not Mem("counter", 0).is_register_based
+
+
+def test_mov_defs_and_uses():
+    load = Mov(Reg("eax"), Mem("edx", 4))
+    assert load.register_defs() == {"eax"}
+    assert load.register_uses() == {"edx"}
+    store = Mov(Mem("edx", 4), Reg("eax"))
+    assert store.register_defs() == set()
+    assert store.register_uses() == {"edx", "eax"}
+
+
+def test_binary_op_defs_and_uses():
+    add = BinaryOp("add", Reg("eax"), Reg("ebx"))
+    assert add.register_defs() == {"eax"}
+    assert add.register_uses() == {"eax", "ebx"}
+
+
+def test_xor_zeroing_has_no_semantic_use():
+    zero = BinaryOp("xor", Reg("eax"), Reg("eax"))
+    assert zero.register_uses() == set()
+    assert is_zeroing_idiom(zero)
+    assert is_zeroing_idiom(BinaryOp("sub", Reg("ecx"), Reg("ecx")))
+    assert not is_zeroing_idiom(BinaryOp("xor", Reg("eax"), Reg("ebx")))
+    assert not is_zeroing_idiom(Mov(Reg("eax"), Imm(0)))
+
+
+def test_push_pop_touch_esp():
+    assert "esp" in Push(Reg("eax")).register_defs()
+    assert "esp" in Pop(Reg("ebx")).register_defs()
+    assert Pop(Reg("ebx")).register_defs() == {"ebx", "esp"}
+
+
+def test_call_clobbers_caller_saved():
+    call = Call("malloc")
+    assert call.register_defs() == {"eax", "ecx", "edx"}
+    indirect = Call(Reg("eax"))
+    assert "eax" in indirect.register_uses()
+
+
+def test_terminators():
+    assert Ret().is_terminator()
+    assert Jmp(".x").is_terminator()
+    assert not Jcc("z", ".x").is_terminator()
+    assert not Mov(Reg("eax"), Imm(1)).is_terminator()
+
+
+def test_string_rendering():
+    assert str(Mov(Reg("eax"), Mem("esp", 4))) == "mov eax, [esp+4]"
+    assert str(Mov(Reg("eax"), Mem("ebp", -8))) == "mov eax, [ebp-8]"
+    assert str(Push(Imm(3))) == "push 3"
+    assert str(Compare("test", Reg("eax"), Reg("eax"))) == "test eax, eax"
+    assert str(Leave()) == "leave"
+    assert str(Mem("eax", 3, 1)) == "byte [eax+3]"
+
+
+def test_compare_uses_both_operands():
+    cmp = Compare("cmp", Reg("eax"), Mem("ebp", 8))
+    assert cmp.register_uses() == {"eax", "ebp"}
+    assert cmp.register_defs() == set()
