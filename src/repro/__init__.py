@@ -15,11 +15,26 @@ Subpackages
     Unification-, interval- and propagation-based comparison algorithms.
 ``repro.eval``
     Benchmark-suite generation, metrics and the evaluation harness.
+``repro.service``
+    The analysis service layer: content-addressed summary caching, incremental
+    re-analysis, SCC-wave parallelism and batched corpus analysis.
 """
 
 __version__ = "0.1.0"
 
 from . import core
 from .pipeline import FunctionTypes, ProgramTypes, analyze_program
+from .service import AnalysisService, IncrementalSession, ServiceConfig, SummaryStore, analyze_corpus
 
-__all__ = ["FunctionTypes", "ProgramTypes", "analyze_program", "core", "__version__"]
+__all__ = [
+    "AnalysisService",
+    "FunctionTypes",
+    "IncrementalSession",
+    "ProgramTypes",
+    "ServiceConfig",
+    "SummaryStore",
+    "analyze_corpus",
+    "analyze_program",
+    "core",
+    "__version__",
+]

@@ -15,6 +15,7 @@ which keeps the structure a (bounded) lattice.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 TOP = "TOP"
@@ -78,6 +79,20 @@ class TypeLattice:
     def is_constant(self, name: str) -> bool:
         """True when ``name`` denotes a type constant (a lattice element)."""
         return name in self._parents
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the Hasse diagram.
+
+        Two lattices with the same elements and the same immediate-supertype
+        relation fingerprint identically; the summary store mixes this into its
+        cache keys so summaries computed under one lattice are never reused
+        under another.
+        """
+        payload = ";".join(
+            f"{element}<{','.join(sorted(parents))}"
+            for element, parents in sorted(self._parents.items())
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- order -----------------------------------------------------------------
 

@@ -18,8 +18,8 @@ import itertools
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from .constraints import ConstraintSet
-from .variables import DerivedTypeVariable
+from .constraints import AddConstraint, ConstraintSet, SubConstraint, parse_constraint
+from .variables import DerivedTypeVariable, parse_dtv
 
 _instantiation_counter = itertools.count()
 
@@ -85,6 +85,55 @@ class TypeScheme:
 
     def is_trivial(self) -> bool:
         return len(self.constraints) == 0
+
+    # -- serialization (summary-store round trip) ------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-able representation, the inverse of :meth:`from_json`.
+
+        Subtype constraints use the textual constraint syntax (parseable by
+        :func:`~repro.core.constraints.parse_constraint`); the three-place
+        additive constraints are spelled out structurally.  Everything is
+        sorted so the representation is stable across runs.
+        """
+        return {
+            "proc": self.proc,
+            "constraints": sorted(str(c) for c in self.constraints.subtype),
+            "additive": sorted(
+                (
+                    {
+                        "kind": "add" if isinstance(c, AddConstraint) else "sub",
+                        "left": str(c.left),
+                        "right": str(c.right),
+                        "result": str(c.result),
+                    }
+                    for c in self.constraints.additive
+                ),
+                key=lambda entry: (entry["kind"], entry["left"], entry["right"], entry["result"]),
+            ),
+            "quantified": sorted(self.quantified),
+            "formal_ins": [str(dtv) for dtv in self.formal_ins],
+            "formal_outs": [str(dtv) for dtv in self.formal_outs],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "TypeScheme":
+        """Rebuild a scheme serialized by :meth:`to_json`."""
+        constraints = ConstraintSet()
+        for text in data.get("constraints", ()):
+            constraints.add(parse_constraint(text))
+        for entry in data.get("additive", ()):
+            ctor = AddConstraint if entry["kind"] == "add" else SubConstraint
+            constraints.add(
+                ctor(parse_dtv(entry["left"]), parse_dtv(entry["right"]), parse_dtv(entry["result"]))
+            )
+        return cls(
+            proc=data["proc"],
+            constraints=constraints,
+            quantified=frozenset(data.get("quantified", ())),
+            formal_ins=tuple(parse_dtv(text) for text in data.get("formal_ins", ())),
+            formal_outs=tuple(parse_dtv(text) for text in data.get("formal_outs", ())),
+        )
 
     def __str__(self) -> str:
         quantifier = f"∀{self.proc}."

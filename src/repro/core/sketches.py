@@ -27,7 +27,7 @@ import itertools
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from .labels import Label, Variance, path_variance
+from .labels import Label, Variance, parse_label, path_variance
 from .lattice import BOTTOM, TOP, TypeLattice
 
 
@@ -272,6 +272,52 @@ class Sketch:
                     out.nodes[mapping[dst]].upper = self.nodes[dst].upper
                 out.add_edge(mapping[src], label, mapping[dst])
         return out
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-able representation of the reachable automaton.
+
+        Node identifiers are renumbered along a deterministic traversal so two
+        semantically equal sketches built along different histories serialize
+        identically; :meth:`from_json` is the inverse up to node numbering.
+        """
+        order: Dict[int, int] = {}
+        worklist = [self.root]
+        while worklist:
+            current = worklist.pop(0)
+            if current in order:
+                continue
+            order[current] = len(order)
+            for _, target in sorted(
+                self.edges.get(current, {}).items(), key=lambda kv: str(kv[0])
+            ):
+                if target not in order:
+                    worklist.append(target)
+        nodes = [
+            [order[ident], self.nodes[ident].lower, self.nodes[ident].upper]
+            for ident in sorted(order, key=order.get)
+        ]
+        edges = sorted(
+            [order[src], str(label), order[dst]]
+            for src in order
+            for label, dst in self.edges.get(src, {}).items()
+        )
+        return {"nodes": nodes, "edges": edges}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object], lattice: TypeLattice) -> "Sketch":
+        """Rebuild a sketch serialized by :meth:`to_json`."""
+        sketch = cls(lattice)
+        mapping: Dict[int, int] = {}
+        for ident, lower, upper in data.get("nodes", ()):
+            if not mapping:
+                mapping[ident] = sketch.root
+                root = sketch.nodes[sketch.root]
+                root.lower, root.upper = lower, upper
+            else:
+                mapping[ident] = sketch.add_node(lower, upper)
+        for src, label_text, dst in data.get("edges", ()):
+            sketch.add_edge(mapping[src], parse_label(label_text), mapping[dst])
+        return sketch
 
     def to_dot(self, name: str = "sketch") -> str:
         """GraphViz rendering, handy for debugging and documentation."""

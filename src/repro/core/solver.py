@@ -23,6 +23,7 @@ disassembly and which tests can construct by hand.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -115,16 +116,23 @@ class Solver:
         self, procedures: Mapping[str, ProcedureTypingInput]
     ) -> Dict[str, ProcedureResult]:
         """Infer type schemes and sketches for every procedure."""
-        order = self._scc_order(procedures)
+        order = self.scc_order(procedures)
         results: Dict[str, ProcedureResult] = {}
         constraint_count = 0
+        scc_timings: List[Tuple[str, float]] = []
         for scc in order:
-            scc_results = self._solve_scc(scc, procedures, results)
+            scc_start = time.perf_counter()
+            scc_results = self.solve_scc(scc, procedures, results)
+            scc_timings.append((",".join(scc), time.perf_counter() - scc_start))
             results.update(scc_results)
             for name in scc:
                 constraint_count += len(procedures[name].constraints)
         self.stats["constraints"] = constraint_count
         self.stats["procedures"] = len(procedures)
+        self.stats["scc_count"] = len(order)
+        self.stats["scc_seconds"] = scc_timings
+        if scc_timings:
+            self.stats["max_scc_seconds"] = max(seconds for _, seconds in scc_timings)
         if self.config.refine_parameters:
             self._refine_parameters(procedures, results)
         return results
@@ -135,25 +143,30 @@ class Solver:
 
     # -- call graph ----------------------------------------------------------------------
 
-    def _scc_order(
+    def scc_order(
         self, procedures: Mapping[str, ProcedureTypingInput]
     ) -> List[List[str]]:
         """Bottom-up (callee-first) list of SCCs of the call graph."""
-        edges: Dict[str, Set[str]] = {name: set() for name in procedures}
-        for name, proc in procedures.items():
-            for callsite in proc.callsites:
-                if callsite.callee in procedures:
-                    edges[name].add(callsite.callee)
-        return tarjan_sccs(edges)
+        return tarjan_sccs(call_edges(procedures))
+
+    # Backwards-compatible private aliases (pre-service-layer spelling).
+    _scc_order = scc_order
 
     # -- per-SCC solving -----------------------------------------------------------------------
 
-    def _solve_scc(
+    def solve_scc(
         self,
         scc: Sequence[str],
         procedures: Mapping[str, ProcedureTypingInput],
         results: Mapping[str, ProcedureResult],
     ) -> Dict[str, ProcedureResult]:
+        """Solve one SCC of the call graph given the results of its callees.
+
+        ``results`` must already contain a :class:`ProcedureResult` for every
+        callee outside ``scc`` (bottom-up discipline); the returned mapping
+        covers exactly the members of ``scc``.  This is the unit of work the
+        service layer schedules, caches and re-solves incrementally.
+        """
         scc_set = set(scc)
         combined = ConstraintSet()
         for name in scc:
@@ -190,6 +203,8 @@ class Solver:
                 shapes=shapes,
             )
         return out
+
+    _solve_scc = solve_scc
 
     def _callsite_constraints(
         self,
@@ -249,49 +264,119 @@ class Solver:
         results: Dict[str, ProcedureResult],
     ) -> None:
         """Specialize formal sketches to the most specific use seen at callsites."""
-        # Collect actual-in / actual-out sketches per callee formal.
-        actual_ins: Dict[Tuple[str, DerivedTypeVariable], List[Sketch]] = {}
-        actual_outs: Dict[Tuple[str, DerivedTypeVariable], List[Sketch]] = {}
+        contributions: List[RefinementContribution] = []
         for caller_name, caller in procedures.items():
-            caller_result = results.get(caller_name)
-            if caller_result is None or caller_result.shapes is None:
-                continue
-            for callsite in caller.callsites:
-                callee_result = results.get(callsite.callee)
-                if callee_result is None:
-                    continue
-                shapes = caller_result.shapes
-                for formal in callee_result.formal_in_sketches:
-                    actual = formal.with_base(callsite.base)
-                    if shapes.lookup(actual) is not None:
-                        actual_ins.setdefault((callsite.callee, formal), []).append(
-                            shapes.sketch_for(actual)
-                        )
-                for formal in callee_result.formal_out_sketches:
-                    actual = formal.with_base(callsite.base)
-                    if shapes.lookup(actual) is not None:
-                        actual_outs.setdefault((callsite.callee, formal), []).append(
-                            shapes.sketch_for(actual)
-                        )
+            contributions.extend(
+                collect_caller_contributions(caller, results.get(caller_name), results)
+            )
+        apply_refinement(results, contributions)
 
-        for (callee, formal), sketches in actual_ins.items():
-            result = results[callee]
-            current = result.formal_in_sketches.get(formal)
-            if current is None or not sketches:
-                continue
-            joined = sketches[0]
-            for sketch in sketches[1:]:
-                joined = joined.join(sketch)
-            result.formal_in_sketches[formal] = current.meet(joined)
-        for (callee, formal), sketches in actual_outs.items():
-            result = results[callee]
-            current = result.formal_out_sketches.get(formal)
-            if current is None or not sketches:
-                continue
-            met = sketches[0]
-            for sketch in sketches[1:]:
-                met = met.meet(sketch)
-            result.formal_out_sketches[formal] = current.join(met)
+
+# ---------------------------------------------------------------------------
+# REFINEPARAMETERS pieces (Algorithm F.3), usable SCC-by-SCC
+# ---------------------------------------------------------------------------
+#
+# The refinement pass is split in two so the service layer can cache the
+# sketch *contributions* a caller makes to its callees' formals (computed from
+# the caller's solved shapes, which are not serialized) and re-apply them as
+# pure sketch arithmetic on warm runs.
+
+
+@dataclass
+class RefinementContribution:
+    """One callsite's actual-parameter sketch feeding a callee's formal."""
+
+    caller: str
+    callee: str
+    formal: DerivedTypeVariable
+    kind: str  # "in" (actual argument) or "out" (use of the returned value)
+    sketch: Sketch
+
+
+def collect_caller_contributions(
+    caller: ProcedureTypingInput,
+    caller_result: Optional[ProcedureResult],
+    results: Mapping[str, ProcedureResult],
+) -> List[RefinementContribution]:
+    """Actual-in / actual-out sketches ``caller`` contributes at its callsites.
+
+    Requires the caller's solved shapes, so it must run while (or right after)
+    the caller's SCC is solved; the callees' results only provide the *set* of
+    formal variables, which is stable under refinement and caching.
+    """
+    out: List[RefinementContribution] = []
+    if caller_result is None or caller_result.shapes is None:
+        return out
+    shapes = caller_result.shapes
+    for callsite in caller.callsites:
+        callee_result = results.get(callsite.callee)
+        if callee_result is None:
+            continue
+        for formal in callee_result.formal_in_sketches:
+            actual = formal.with_base(callsite.base)
+            if shapes.lookup(actual) is not None:
+                out.append(
+                    RefinementContribution(
+                        caller.name, callsite.callee, formal, "in", shapes.sketch_for(actual)
+                    )
+                )
+        for formal in callee_result.formal_out_sketches:
+            actual = formal.with_base(callsite.base)
+            if shapes.lookup(actual) is not None:
+                out.append(
+                    RefinementContribution(
+                        caller.name, callsite.callee, formal, "out", shapes.sketch_for(actual)
+                    )
+                )
+    return out
+
+
+def apply_refinement(
+    results: Mapping[str, ProcedureResult],
+    contributions: Iterable[RefinementContribution],
+) -> None:
+    """Fold callsite contributions into the callees' formal sketches.
+
+    Formal-in sketches move down to the meet with the join of the actuals;
+    formal-out sketches move up to the join with the meet of the observed
+    uses.  Contribution order is preserved so results are deterministic.
+    """
+    actual_ins: Dict[Tuple[str, DerivedTypeVariable], List[Sketch]] = {}
+    actual_outs: Dict[Tuple[str, DerivedTypeVariable], List[Sketch]] = {}
+    for contribution in contributions:
+        bucket = actual_ins if contribution.kind == "in" else actual_outs
+        bucket.setdefault((contribution.callee, contribution.formal), []).append(
+            contribution.sketch
+        )
+
+    for (callee, formal), sketches in actual_ins.items():
+        result = results[callee]
+        current = result.formal_in_sketches.get(formal)
+        if current is None or not sketches:
+            continue
+        joined = sketches[0]
+        for sketch in sketches[1:]:
+            joined = joined.join(sketch)
+        result.formal_in_sketches[formal] = current.meet(joined)
+    for (callee, formal), sketches in actual_outs.items():
+        result = results[callee]
+        current = result.formal_out_sketches.get(formal)
+        if current is None or not sketches:
+            continue
+        met = sketches[0]
+        for sketch in sketches[1:]:
+            met = met.meet(sketch)
+        result.formal_out_sketches[formal] = current.join(met)
+
+
+def call_edges(procedures: Mapping[str, ProcedureTypingInput]) -> Dict[str, Set[str]]:
+    """Call-graph edges between defined procedures, read off the callsites."""
+    edges: Dict[str, Set[str]] = {name: set() for name in procedures}
+    for name, proc in procedures.items():
+        for callsite in proc.callsites:
+            if callsite.callee in procedures:
+                edges[name].add(callsite.callee)
+    return edges
 
 
 # ---------------------------------------------------------------------------

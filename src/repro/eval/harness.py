@@ -14,6 +14,7 @@ from dataclasses import dataclass, field as dc_field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines import ALL_ENGINES, TypeInferenceEngine
+from ..service import AnalysisService, analyze_corpus
 from .metrics import ProgramMetrics, aggregate, evaluate_program
 from .workloads import Workload
 
@@ -25,6 +26,9 @@ class EngineReport:
     engine: str
     per_program: Dict[str, ProgramMetrics] = dc_field(default_factory=dict)
     clusters: Dict[str, List[str]] = dc_field(default_factory=dict)
+    #: corpus-level cache/wave statistics when the suite ran through the batch
+    #: service API (a :class:`repro.service.CorpusReport`), else None.
+    batch: Optional[object] = None
 
     # -- aggregation ---------------------------------------------------------------
 
@@ -71,13 +75,47 @@ def run_engine(
     return report
 
 
+def run_suite_batched(
+    workloads: Sequence[Workload], service: Optional[AnalysisService] = None
+) -> EngineReport:
+    """Run the Retypd engine over a suite through the batch service API.
+
+    All workloads are analyzed against one shared summary store, so cluster
+    members that statically link the same library code reuse each other's SCC
+    summaries; the per-program cache statistics land in the report's
+    ``batch`` attribute (a :class:`repro.service.CorpusReport`).  The inferred
+    types -- and therefore every metric -- are identical to the unbatched
+    :func:`run_engine` path.
+    """
+    corpus = analyze_corpus(
+        ((workload.name, workload.program) for workload in workloads), service=service
+    )
+    report = EngineReport(engine="retypd")
+    for workload in workloads:
+        types = corpus[workload.name].types
+        metrics = evaluate_program(workload.name, types, workload.ground_truth)
+        report.per_program[workload.name] = metrics
+        report.clusters.setdefault(workload.cluster, []).append(workload.name)
+    report.batch = corpus
+    return report
+
+
 def compare_engines(
     workloads: Sequence[Workload],
     engine_names: Sequence[str] = ("retypd", "unification", "tie", "propagation"),
+    service: Optional[AnalysisService] = None,
 ) -> Dict[str, EngineReport]:
-    """Run several engines over the same suite."""
+    """Run several engines over the same suite.
+
+    When ``service`` is given, the Retypd engine runs through the batched
+    corpus API against that service's shared summary store (the baselines
+    have no summary notion and always run unbatched).
+    """
     reports: Dict[str, EngineReport] = {}
     for name in engine_names:
+        if name == "retypd" and service is not None:
+            reports[name] = run_suite_batched(workloads, service=service)
+            continue
         engine = ALL_ENGINES[name]()
         reports[name] = run_engine(engine, workloads)
     return reports

@@ -1,16 +1,19 @@
-"""Call graphs and their strongly-connected components.
+"""Call graphs, their strongly-connected components, and SCC waves.
 
 Type schemes are inferred bottom-up over the SCCs of the call graph (section
 4.2); this module wraps the program's direct-call edges and the Tarjan SCC
-computation shared with the core solver.
+computation shared with the core solver.  It also levels the SCC condensation
+DAG into *waves*: every SCC in wave ``k`` only calls into SCCs of waves
+``< k``, so all SCCs within one wave can be solved concurrently (the unit of
+parallelism used by :mod:`repro.service.scheduler`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Set
+from typing import Dict, List, Mapping, Set, Tuple
 
-from ..core.solver import tarjan_sccs
+from ..core.solver import ProcedureTypingInput, call_edges, tarjan_sccs
 from .program import Program
 
 
@@ -24,11 +27,39 @@ class CallGraph:
     def from_program(cls, program: Program) -> "CallGraph":
         return cls(program.call_edges())
 
+    @classmethod
+    def from_typing_inputs(
+        cls, procedures: Mapping[str, ProcedureTypingInput]
+    ) -> "CallGraph":
+        """Call graph read off the callsites of generated typing inputs."""
+        return cls(call_edges(procedures))
+
     def callees(self, name: str) -> Set[str]:
         return set(self.edges.get(name, ()))
 
     def callers(self, name: str) -> Set[str]:
         return {caller for caller, callees in self.edges.items() if name in callees}
+
+    def transitive_callers(self, names: Set[str]) -> Set[str]:
+        """``names`` plus every procedure that can reach one of them by calls.
+
+        This is the invalidation cone of the incremental driver: when a
+        procedure changes, its own SCC and all transitive callers must be
+        re-solved, while everything below is reusable by content hash.
+        """
+        reverse: Dict[str, Set[str]] = {}
+        for caller, callees in self.edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        dirty = set(names)
+        worklist = list(names)
+        while worklist:
+            current = worklist.pop()
+            for caller in reverse.get(current, ()):
+                if caller not in dirty:
+                    dirty.add(caller)
+                    worklist.append(caller)
+        return dirty
 
     def sccs_bottom_up(self) -> List[List[str]]:
         """SCCs in callee-first order (the order type schemes are inferred in)."""
@@ -37,6 +68,45 @@ class CallGraph:
     def sccs_top_down(self) -> List[List[str]]:
         """SCCs in caller-first order (the order sketches are specialized in)."""
         return list(reversed(self.sccs_bottom_up()))
+
+    def scc_of(self) -> Dict[str, Tuple[str, ...]]:
+        """Map every procedure to (the canonical tuple of) its SCC."""
+        out: Dict[str, Tuple[str, ...]] = {}
+        for scc in self.sccs_bottom_up():
+            key = tuple(scc)
+            for name in scc:
+                out[name] = key
+        return out
+
+    def scc_waves(self) -> List[List[List[str]]]:
+        """Topological levelling of the SCC condensation DAG.
+
+        Returns a list of waves; each wave is a list of SCCs (in bottom-up
+        discovery order, so the result is deterministic), and every SCC only
+        calls into SCCs of strictly earlier waves.  Wave 0 holds the leaf
+        SCCs; independent subtrees share waves, which is where the service
+        scheduler finds its parallelism.
+        """
+        sccs = self.sccs_bottom_up()
+        index_of: Dict[str, int] = {}
+        for index, scc in enumerate(sccs):
+            for name in scc:
+                index_of[name] = index
+        depth: List[int] = [0] * len(sccs)
+        for index, scc in enumerate(sccs):
+            members = set(scc)
+            callee_depths = [
+                depth[index_of[callee]]
+                for name in scc
+                for callee in self.edges.get(name, ())
+                if callee not in members and callee in index_of
+            ]
+            # Bottom-up order guarantees callees were assigned depths already.
+            depth[index] = 1 + max(callee_depths) if callee_depths else 0
+        waves: List[List[List[str]]] = [[] for _ in range(max(depth, default=-1) + 1)]
+        for index, scc in enumerate(sccs):
+            waves[depth[index]].append(list(scc))
+        return waves
 
     def __len__(self) -> int:
         return len(self.edges)

@@ -12,26 +12,33 @@ Internally it mirrors the architecture of section 4: IR recovery (already done
 if a :class:`~repro.ir.program.Program` is passed), constraint generation per
 procedure, bottom-up type-scheme inference over call-graph SCCs, sketch
 solving, and the final heuristic conversion to C types.
+
+Since the service layer landed, :func:`analyze_program` routes through
+:class:`repro.service.AnalysisService`: the call-graph condensation is
+levelled into SCC waves, each SCC is solved piecewise via
+:meth:`Solver.solve_scc <repro.core.solver.Solver.solve_scc>`, and -- when a
+:class:`~repro.service.ServiceConfig` enables it -- per-SCC summaries are
+cached in a content-addressed store, re-analysis after an edit re-solves only
+the invalidation cone, and independent SCCs solve in parallel.  The default
+configuration (no cache, serial) reproduces the historical single-shot
+behaviour exactly.  For many programs at once, see
+:func:`repro.analyze_corpus`; for repeated re-analysis of an edited program,
+see :class:`repro.service.IncrementalSession`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Union
 
-from .core.ctype import FunctionType, PointerType, StructType, render_function
+from .core.ctype import FunctionType, StructType, render_function
 from .core.display import TypeDisplay
-from .core.labels import InLabel, Variance
-from .core.lattice import TypeLattice, default_lattice
+from .core.labels import InLabel, OutLabel
+from .core.lattice import TypeLattice
 from .core.schemes import TypeScheme
-from .core.solver import ProcedureResult, ProcedureTypingInput, Solver, SolverConfig
-from .core.variables import DerivedTypeVariable
-from .ir.asmparser import parse_program
-from .ir.cfg import cfg_node_count
+from .core.solver import ProcedureResult, ProcedureTypingInput, SolverConfig
 from .ir.program import Program
-from .typegen.externs import ExternSignature, ensure_lattice_tags, extern_schemes, standard_externs
-from .typegen.abstract_interp import generate_program_constraints
+from .typegen.externs import ExternSignature
 
 
 @dataclass
@@ -100,38 +107,34 @@ def analyze_program(
     lattice: Optional[TypeLattice] = None,
     externs: Optional[Mapping[str, ExternSignature]] = None,
     config: Optional[SolverConfig] = None,
+    service: Optional[object] = None,
 ) -> ProgramTypes:
-    """Run the whole Retypd pipeline on assembly text or an IR program."""
-    program = parse_program(source) if isinstance(source, str) else source
-    lattice = lattice or default_lattice()
-    ensure_lattice_tags(lattice)
-    extern_table = dict(externs) if externs is not None else standard_externs()
+    """Run the whole Retypd pipeline on assembly text or an IR program.
 
-    start = time.perf_counter()
-    inputs = generate_program_constraints(program, extern_table)
-    constraint_time = time.perf_counter() - start
+    ``service`` may be a :class:`repro.service.ServiceConfig` (a service is
+    built from it) or a ready :class:`repro.service.AnalysisService` (its
+    summary store is then shared across calls, enabling warm re-analysis).
+    By default a one-shot service -- no cache, serial scheduling -- is used,
+    which matches the historical behaviour of this function.
+    """
+    from dataclasses import replace
 
-    solver = Solver(lattice, extern_schemes(extern_table), config)
-    solve_start = time.perf_counter()
-    results = solver.solve_program(inputs)
-    solve_time = time.perf_counter() - solve_start
+    from .service.incremental import AnalysisService, ServiceConfig
 
-    display = TypeDisplay(lattice)
-    functions: Dict[str, FunctionTypes] = {}
-    for name, result in results.items():
-        functions[name] = _function_types(name, inputs[name], result, display)
-
-    stats = dict(solver.stats)
-    stats.update(
-        {
-            "constraint_generation_seconds": constraint_time,
-            "solve_seconds": solve_time,
-            "total_seconds": constraint_time + solve_time,
-            "instructions": program.instruction_count,
-            "cfg_nodes": sum(cfg_node_count(proc) for proc in program),
-        }
-    )
-    return ProgramTypes(program=program, functions=functions, display=display, stats=stats)
+    if isinstance(service, AnalysisService):
+        if config is not None and service.config.solver is not config:
+            raise ValueError("pass the solver config inside the service, not separately")
+        if lattice is not None or externs is not None:
+            raise ValueError(
+                "a ready AnalysisService carries its own lattice and externs; "
+                "pass them to the service constructor instead"
+            )
+        return service.analyze(source)
+    if isinstance(service, ServiceConfig):
+        service_config = replace(service, solver=config) if config is not None else service
+    else:
+        service_config = ServiceConfig(solver=config or SolverConfig(), use_cache=False)
+    return AnalysisService(service_config, lattice=lattice, externs=externs).analyze(source)
 
 
 def _function_types(
@@ -156,7 +159,11 @@ def _function_types(
     for dtv in typing_input.formal_outs:
         sketch = result.formal_out_sketches.get(dtv)
         if sketch is not None:
-            out_sketches.append(("eax", sketch))
+            out_label = next(
+                (label for label in dtv.labels if isinstance(label, OutLabel)), None
+            )
+            location = out_label.location if out_label is not None else str(dtv)
+            out_sketches.append((location, sketch))
     function_type, param_names = display.function_type(in_sketches, out_sketches)
     return FunctionTypes(
         name=name,

@@ -1,0 +1,48 @@
+"""The analysis service layer: caching, incremental and parallel drivers.
+
+This package turns the one-shot pipeline into a service suited to corpus-scale
+workloads, without changing a single inferred type:
+
+``repro.service.store``
+    Content-addressed :class:`SummaryStore` of per-SCC type summaries
+    (in-memory LRU + optional on-disk JSON tier).
+``repro.service.incremental``
+    :class:`AnalysisService` -- the driver the pipeline routes through -- and
+    :class:`IncrementalSession` for re-analysis after edits.
+``repro.service.scheduler``
+    :class:`WaveScheduler` -- solves independent SCCs of one topological wave
+    of the call-graph condensation concurrently.
+``repro.service.batch``
+    :func:`analyze_corpus` -- many programs against one shared store.
+"""
+
+from .batch import CorpusReport, ProgramReport, analyze_corpus
+from .incremental import AnalysisService, IncrementalSession, ServiceConfig
+from .scheduler import ScheduleStats, WaveScheduler
+from .store import (
+    ProcedureSummary,
+    SCCSummary,
+    StoreStats,
+    SummaryStore,
+    procedure_fingerprint,
+    program_fingerprints,
+    scc_summary_keys,
+)
+
+__all__ = [
+    "AnalysisService",
+    "CorpusReport",
+    "IncrementalSession",
+    "ProcedureSummary",
+    "ProgramReport",
+    "SCCSummary",
+    "ScheduleStats",
+    "ServiceConfig",
+    "StoreStats",
+    "SummaryStore",
+    "WaveScheduler",
+    "analyze_corpus",
+    "procedure_fingerprint",
+    "program_fingerprints",
+    "scc_summary_keys",
+]

@@ -1,0 +1,297 @@
+"""The analysis service driver: cached, incremental, wave-parallel solving.
+
+:class:`AnalysisService` is the orchestrator the public pipeline routes
+through.  One ``analyze`` call runs the same algorithm as the plain solver --
+constraint generation, bottom-up per-SCC solving, REFINEPARAMETERS -- but
+drives :meth:`Solver.solve_scc <repro.core.solver.Solver.solve_scc>` piecewise
+so that three things become possible:
+
+* **summary reuse** -- every solved SCC is published to a content-addressed
+  :class:`~repro.service.store.SummaryStore`; any SCC whose key (procedure IR
+  + transitive callee keys + environment) is already present is loaded instead
+  of solved, exactly the separate-compilation reuse of function summaries;
+* **incremental re-analysis** -- editing a procedure changes its SCC's key and
+  the keys of its transitive callers, so precisely that invalidation cone is
+  re-solved (:class:`IncrementalSession` reports the cone explicitly, computed
+  top-down via ``CallGraph.callers``);
+* **wave parallelism** -- SCCs that share a topological level of the
+  condensation DAG are independent and are dispatched together through the
+  :class:`~repro.service.scheduler.WaveScheduler`.
+
+Warm-or-cold, serial-or-parallel, the service produces results string-equal to
+a plain :func:`repro.analyze_program` run: the final-results dict is rebuilt in
+bottom-up SCC order (struct naming in the display layer is order-sensitive)
+and refinement contributions are re-applied in the solver's exact caller order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import ChainMap
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..core.lattice import TypeLattice, default_lattice
+from ..core.solver import (
+    ProcedureResult,
+    ProcedureTypingInput,
+    RefinementContribution,
+    Solver,
+    SolverConfig,
+    apply_refinement,
+    collect_caller_contributions,
+)
+from ..ir.callgraph import CallGraph
+from ..ir.asmparser import parse_program
+from ..ir.cfg import cfg_node_count
+from ..ir.program import Program
+from ..typegen.abstract_interp import generate_program_constraints
+from ..typegen.externs import (
+    ExternSignature,
+    ensure_lattice_tags,
+    extern_schemes,
+    standard_externs,
+)
+from .scheduler import WaveScheduler
+from .store import (
+    SCCSummary,
+    SummaryStore,
+    environment_fingerprint,
+    program_fingerprints,
+    scc_summary_keys,
+    summarize_scc,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunable knobs of the analysis service layer."""
+
+    #: configuration forwarded to the core solver.
+    solver: SolverConfig = dc_field(default_factory=SolverConfig)
+    #: probe and populate the summary store (set False for one-shot analyses
+    #: where serialization overhead buys nothing).
+    use_cache: bool = True
+    #: capacity (entries) of the store's in-memory LRU tier.
+    cache_capacity: int = 4096
+    #: optional directory for the store's persistent on-disk JSON tier.
+    cache_dir: Optional[str] = None
+    #: solve independent SCCs of one wave concurrently.
+    parallel: bool = False
+    #: thread-pool size for parallel wave solving (default: min(8, cpus)).
+    max_workers: Optional[int] = None
+
+
+class AnalysisService:
+    """Batched/cached/incremental analysis over one shared summary store."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        lattice: Optional[TypeLattice] = None,
+        externs: Optional[Mapping[str, ExternSignature]] = None,
+        store: Optional[SummaryStore] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.lattice = ensure_lattice_tags(lattice or default_lattice())
+        self.extern_table: Dict[str, ExternSignature] = (
+            dict(externs) if externs is not None else standard_externs()
+        )
+        self.extern_schemes = extern_schemes(self.extern_table)
+        if store is not None:
+            self.store: Optional[SummaryStore] = store
+        elif self.config.use_cache:
+            self.store = SummaryStore(
+                capacity=self.config.cache_capacity, cache_dir=self.config.cache_dir
+            )
+        else:
+            self.store = None
+        self.scheduler = WaveScheduler(
+            parallel=self.config.parallel, max_workers=self.config.max_workers
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def analyze(self, source: Union[str, "Program"]):
+        """Analyze one program; returns :class:`repro.pipeline.ProgramTypes`."""
+        from ..pipeline import ProgramTypes, _function_types
+        from ..core.display import TypeDisplay
+
+        program = parse_program(source) if isinstance(source, str) else source
+
+        start = time.perf_counter()
+        inputs = generate_program_constraints(program, self.extern_table)
+        constraint_time = time.perf_counter() - start
+
+        solve_start = time.perf_counter()
+        results, stats = self.solve_inputs(program, inputs)
+        solve_time = time.perf_counter() - solve_start
+
+        display = TypeDisplay(self.lattice)
+        functions = {
+            name: _function_types(name, inputs[name], result, display)
+            for name, result in results.items()
+        }
+        stats.update(
+            {
+                "constraint_generation_seconds": constraint_time,
+                "solve_seconds": solve_time,
+                "total_seconds": constraint_time + solve_time,
+                "instructions": program.instruction_count,
+                "cfg_nodes": sum(cfg_node_count(proc) for proc in program),
+            }
+        )
+        return ProgramTypes(
+            program=program, functions=functions, display=display, stats=stats
+        )
+
+    # -- the driver ------------------------------------------------------------
+
+    def solve_inputs(
+        self,
+        program: Program,
+        inputs: Mapping[str, ProcedureTypingInput],
+    ) -> Tuple[Dict[str, ProcedureResult], Dict[str, object]]:
+        """Solve all procedures, reusing cached SCC summaries where possible.
+
+        Returns (results in bottom-up SCC order, service statistics).
+        """
+        callgraph = CallGraph.from_typing_inputs(inputs)
+        sccs = callgraph.sccs_bottom_up()
+        waves = callgraph.scc_waves()
+        solver = Solver(self.lattice, self.extern_schemes, self.config.solver)
+
+        # Probe the store for every SCC (keys are content-transitive, so a hit
+        # is valid regardless of what happens to other SCCs this run).
+        cached: Dict[Tuple[str, ...], SCCSummary] = {}
+        keys: Dict[Tuple[str, ...], str] = {}
+        if self.store is not None and self.config.use_cache:
+            # Recomputed per call (a few cheap hashes) so that mutating the
+            # solver config, lattice or extern table between calls can never
+            # serve summaries keyed under the old environment.
+            environment = environment_fingerprint(
+                self.lattice, self.extern_table, self.config.solver
+            )
+            fingerprints = program_fingerprints(program)
+            keys = scc_summary_keys(sccs, callgraph.edges, fingerprints, environment)
+            for scc in sccs:
+                summary = self.store.get(keys[tuple(scc)], self.lattice)
+                if summary is not None:
+                    cached[tuple(scc)] = summary
+
+        working: Dict[str, ProcedureResult] = {}
+        contributions_of: Dict[str, List[RefinementContribution]] = {}
+        for scc_key, summary in cached.items():
+            for name in scc_key:
+                procedure = summary.procedures[name]
+                working[name] = procedure.to_result()
+                contributions_of[name] = list(procedure.contributions)
+
+        refine = self.config.solver.refine_parameters
+
+        def solve(scc: Sequence[str]):
+            scc_results = solver.solve_scc(scc, inputs, working)
+            if not refine:
+                return scc_results, {}
+            # Same-SCC callees shadow, earlier waves fall through; no copy.
+            merged = ChainMap(scc_results, working)
+            contributions = {
+                name: collect_caller_contributions(inputs[name], scc_results[name], merged)
+                for name in scc
+            }
+            return scc_results, contributions
+
+        def publish(wave_results):
+            for scc, (scc_results, contributions) in wave_results:
+                working.update(scc_results)
+                for name in scc:
+                    contributions_of[name] = list(contributions.get(name, ()))
+                if self.store is not None and self.config.use_cache:
+                    self.store.put(
+                        keys[tuple(scc)], summarize_scc(scc, scc_results, contributions)
+                    )
+
+        missing_waves = [
+            [scc for scc in wave if tuple(scc) not in cached] for wave in waves
+        ]
+        missing_waves = [wave for wave in missing_waves if wave]
+        _, schedule_stats = self.scheduler.run(missing_waves, solve, publish)
+
+        # Deterministic final ordering: the display layer names structs in
+        # conversion order, so results must surface bottom-up like the plain
+        # solver builds them.
+        results: Dict[str, ProcedureResult] = {}
+        for scc in sccs:
+            for name in scc:
+                results[name] = working[name]
+
+        if refine:
+            ordered_contributions: List[RefinementContribution] = []
+            for name in inputs:  # the solver's caller order
+                ordered_contributions.extend(contributions_of.get(name, ()))
+            apply_refinement(results, ordered_contributions)
+
+        solved = [name for scc in sccs if tuple(scc) not in cached for name in scc]
+        reused = [name for scc in sccs if tuple(scc) in cached for name in scc]
+        stats: Dict[str, object] = {
+            "constraints": sum(len(proc.constraints) for proc in inputs.values()),
+            "procedures": len(inputs),
+            "scc_count": len(sccs),
+            "sccs_solved": len(sccs) - len(cached),
+            "sccs_cached": len(cached),
+            "cache_hits": len(cached),
+            "cache_misses": len(sccs) - len(cached),
+            "solved_procedures": sorted(solved),
+            "cached_procedures": sorted(reused),
+            "dag_wave_widths": [len(wave) for wave in waves],
+        }
+        stats.update(schedule_stats.as_stats())
+        if self.store is not None:
+            stats["store"] = self.store.stats.snapshot()
+        return results, stats
+
+
+class IncrementalSession:
+    """Re-analyze successive versions of one program against a shared store.
+
+    On every call after the first, the session hashes all procedures, diffs
+    against the previous version and computes the invalidation cone -- the
+    changed procedures' SCCs plus all transitive callers, found top-down via
+    :meth:`CallGraph.callers <repro.ir.callgraph.CallGraph.callers>` -- which
+    it reports in ``stats["invalidated_procedures"]``.  The content-addressed
+    store then re-solves exactly that cone (``stats["solved_procedures"]``)
+    while every clean SCC is served from cache.
+    """
+
+    def __init__(self, service: Optional[AnalysisService] = None) -> None:
+        self.service = service or AnalysisService()
+        if self.service.store is None:
+            raise ValueError("IncrementalSession requires a service with a summary store")
+        self._previous: Optional[Dict[str, str]] = None
+
+    def analyze(self, source: Union[str, Program]):
+        """Analyze the (possibly edited) program, annotating invalidation stats."""
+        program = parse_program(source) if isinstance(source, str) else source
+        fingerprints = program_fingerprints(program)
+        invalidated: Optional[Set[str]] = None
+        if self._previous is not None:
+            changed = {
+                name
+                for name, fingerprint in fingerprints.items()
+                if self._previous.get(name) != fingerprint
+            }
+            # A deleted procedure invalidates its former callers: their IR is
+            # unchanged but their callee table (and thus constraints) is not.
+            deleted = set(self._previous) - set(fingerprints)
+            if deleted:
+                for name, procedure in program.procedures.items():
+                    if deleted & set(procedure.direct_callees()):
+                        changed.add(name)
+            callgraph = CallGraph.from_program(program)
+            invalidated = callgraph.transitive_callers(changed)
+        self._previous = dict(fingerprints)
+
+        types = self.service.analyze(program)
+        if invalidated is not None:
+            types.stats["invalidated_procedures"] = sorted(invalidated)
+        return types

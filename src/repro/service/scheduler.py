@@ -1,0 +1,111 @@
+"""SCC-wave scheduling: solve independent SCCs of one wave concurrently.
+
+The call-graph condensation is levelled into waves (:meth:`CallGraph.scc_waves
+<repro.ir.callgraph.CallGraph.scc_waves>`): every SCC only depends on strictly
+earlier waves, so all SCCs within one wave are data-independent and can be
+solved in parallel.  The scheduler walks waves bottom-up; within a wave it
+dispatches per-SCC work either serially or on a ``concurrent.futures`` thread
+pool, and always merges results in the wave's listed SCC order so the outcome
+is deterministic regardless of completion order.
+
+Threads (not processes) are the right executor here: solver inputs and results
+are plain Python objects that would be expensive to pickle, per-SCC work drops
+into C-implemented set/dict operations often enough for some overlap, and the
+serial fallback keeps single-core behaviour unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class ScheduleStats:
+    """What the scheduler observed while draining the waves."""
+
+    wave_widths: List[int] = dc_field(default_factory=list)
+    scc_seconds: List[Tuple[str, float]] = dc_field(default_factory=list)
+    parallel: bool = False
+
+    @property
+    def wave_count(self) -> int:
+        return len(self.wave_widths)
+
+    @property
+    def max_wave_width(self) -> int:
+        return max(self.wave_widths, default=0)
+
+    def as_stats(self) -> Dict[str, object]:
+        widths = self.wave_widths
+        return {
+            "wave_count": self.wave_count,
+            "wave_widths": list(widths),
+            "max_wave_width": self.max_wave_width,
+            "mean_wave_width": (sum(widths) / len(widths)) if widths else 0.0,
+            "scc_seconds": list(self.scc_seconds),
+            "parallel": self.parallel,
+        }
+
+
+class WaveScheduler:
+    """Run a per-SCC function over levelled waves, optionally in parallel."""
+
+    def __init__(self, parallel: bool = False, max_workers: Optional[int] = None) -> None:
+        self.parallel = parallel
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+
+    def run(
+        self,
+        waves: Sequence[Sequence[Sequence[str]]],
+        solve: Callable[[Sequence[str]], T],
+        after_wave: Optional[Callable[[List[Tuple[Sequence[str], T]]], None]] = None,
+    ) -> Tuple[List[Tuple[Sequence[str], T]], ScheduleStats]:
+        """Drain the waves bottom-up.
+
+        ``solve`` is called once per SCC; SCCs of one wave may run
+        concurrently, and ``after_wave`` (if given) receives the wave's
+        ``(scc, result)`` pairs -- in listed order -- once the whole wave has
+        completed, which is where the driver publishes callee summaries before
+        the next wave starts.  Returns all ``(scc, result)`` pairs in
+        deterministic bottom-up order plus scheduling statistics.
+        """
+        use_parallel = self.parallel and self.max_workers > 1
+        stats = ScheduleStats(parallel=use_parallel)
+        all_results: List[Tuple[Sequence[str], T]] = []
+        # One pool for the whole run: deep call graphs have many narrow waves
+        # and must not pay thread spawn/join per wave.
+        pool = ThreadPoolExecutor(max_workers=self.max_workers) if use_parallel else None
+        try:
+            for wave in waves:
+                stats.wave_widths.append(len(wave))
+                timed: List[Tuple[Sequence[str], T, float]]
+                if pool is not None and len(wave) > 1:
+                    futures = [pool.submit(_timed_call, solve, scc) for scc in wave]
+                    timed = [
+                        (scc, *future.result()) for scc, future in zip(wave, futures)
+                    ]
+                else:
+                    timed = [(scc, *_timed_call(solve, scc)) for scc in wave]
+                wave_results: List[Tuple[Sequence[str], T]] = []
+                for scc, result, seconds in timed:
+                    stats.scc_seconds.append((",".join(scc), seconds))
+                    wave_results.append((scc, result))
+                if after_wave is not None:
+                    after_wave(wave_results)
+                all_results.extend(wave_results)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        return all_results, stats
+
+
+def _timed_call(solve: Callable[[Sequence[str]], T], scc: Sequence[str]) -> Tuple[T, float]:
+    start = time.perf_counter()
+    result = solve(scc)
+    return result, time.perf_counter() - start

@@ -1,0 +1,381 @@
+"""The summary store: a content-addressed cache of per-SCC type summaries.
+
+The unit of caching is one call-graph SCC, because that is the unit the solver
+processes atomically (section 4.2): every procedure in an SCC is typed against
+the *schemes* of the procedures below it, so an SCC's result is a pure function
+of
+
+* the IR of its member procedures,
+* the summaries of every callee SCC (recursively -- the key is transitive),
+* the lattice, the extern table and the solver configuration.
+
+Hashing all of that into the cache key makes invalidation automatic: editing a
+procedure changes its SCC's key and, transitively, the key of every caller SCC,
+which is exactly the re-analysis cone of the incremental driver.  Two different
+programs that share identically-compiled procedures (the statically-linked
+clusters of Figure 10) produce identical keys and share summaries.
+
+The store itself is two-tiered: a bounded in-memory LRU of raw JSON payloads
+(already serialized, so cached entries are immune to the refinement pass
+mutating live sketches) and an optional on-disk JSON tier for persistence
+across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.lattice import TypeLattice
+from ..core.schemes import TypeScheme
+from ..core.sketches import Sketch
+from ..core.solver import ProcedureResult, RefinementContribution, SolverConfig
+from ..core.variables import DerivedTypeVariable, parse_dtv
+from ..ir.program import Procedure, Program
+from ..typegen.externs import ExternSignature
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+#: bump when the summary payload layout changes so stale disk tiers never load.
+STORE_FORMAT = "retypd-summary-v1"
+
+
+def stable_hash(*parts: object) -> str:
+    """SHA-256 of a tuple of JSON-able parts, stable across processes."""
+    payload = json.dumps(parts, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def procedure_fingerprint(procedure: Procedure) -> str:
+    """Content hash of one procedure's IR (its canonical textual form)."""
+    return hashlib.sha256(str(procedure).encode("utf-8")).hexdigest()
+
+
+def program_fingerprints(program: Program) -> Dict[str, str]:
+    """Content hash of every procedure in a program."""
+    return {name: procedure_fingerprint(proc) for name, proc in program.procedures.items()}
+
+
+def externs_fingerprint(externs: Mapping[str, ExternSignature]) -> str:
+    """Stable hash of the extern table (signatures affect generated constraints)."""
+    return stable_hash(
+        sorted(
+            (
+                sig.name,
+                sig.stack_params,
+                sig.has_return,
+                sig.variadic,
+                list(sig.constraints),
+                list(sig.quantified),
+            )
+            for sig in externs.values()
+        )
+    )
+
+
+def solver_config_fingerprint(config: SolverConfig) -> str:
+    return stable_hash(
+        config.precise_bounds,
+        config.max_scheme_depth,
+        config.refine_parameters,
+        config.polymorphic,
+    )
+
+
+def environment_fingerprint(
+    lattice: TypeLattice,
+    externs: Mapping[str, ExternSignature],
+    config: SolverConfig,
+) -> str:
+    """Everything outside the procedures themselves that solving depends on.
+
+    Deliberately program-independent: constraint generation reads only the
+    extern *signature table* (never the program's declared extern set), so two
+    programs sharing identically-compiled procedures share summaries even when
+    their declaration headers differ.
+    """
+    return stable_hash(
+        STORE_FORMAT,
+        lattice.fingerprint(),
+        externs_fingerprint(externs),
+        solver_config_fingerprint(config),
+    )
+
+
+def scc_summary_keys(
+    sccs_bottom_up: Sequence[Sequence[str]],
+    edges: Mapping[str, Set[str]],
+    fingerprints: Mapping[str, str],
+    environment: str,
+) -> Dict[Tuple[str, ...], str]:
+    """Cache key per SCC, computed bottom-up over the condensation DAG.
+
+    A key hashes the member fingerprints together with the *keys* of all
+    callee SCCs, so it transitively covers every procedure the summary was
+    derived from (separate-compilation discipline: identical content, under
+    an identical environment, yields an identical summary).
+    """
+    keys: Dict[Tuple[str, ...], str] = {}
+    key_of_member: Dict[str, str] = {}
+    for scc in sccs_bottom_up:
+        members = set(scc)
+        callee_keys = sorted(
+            {
+                key_of_member[callee]
+                for name in scc
+                for callee in edges.get(name, ())
+                if callee not in members and callee in key_of_member
+            }
+        )
+        key = stable_hash(
+            sorted(fingerprints[name] for name in scc), callee_keys, environment
+        )
+        keys[tuple(scc)] = key
+        for name in scc:
+            key_of_member[name] = key
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProcedureSummary:
+    """The reusable result of typing one procedure: scheme + formal sketches.
+
+    ``contributions`` carries the REFINEPARAMETERS inputs this procedure (as a
+    *caller*) feeds to its callees' formals; refinement is re-applied as pure
+    sketch arithmetic on every run, so cached and freshly-solved procedures
+    compose into exactly the results a cold whole-program run would produce.
+    """
+
+    name: str
+    scheme: TypeScheme
+    formal_ins: Dict[DerivedTypeVariable, Sketch]
+    formal_outs: Dict[DerivedTypeVariable, Sketch]
+    contributions: List[RefinementContribution] = dc_field(default_factory=list)
+
+    def to_result(self) -> ProcedureResult:
+        """Materialize a solver result (shapes are not preserved by caching)."""
+        return ProcedureResult(
+            name=self.name,
+            scheme=self.scheme,
+            formal_in_sketches=dict(self.formal_ins),
+            formal_out_sketches=dict(self.formal_outs),
+            shapes=None,
+        )
+
+
+@dataclass
+class SCCSummary:
+    """Summaries for every member of one solved SCC."""
+
+    members: Tuple[str, ...]
+    procedures: Dict[str, ProcedureSummary]
+
+
+def summarize_scc(
+    scc: Sequence[str],
+    results: Mapping[str, ProcedureResult],
+    contributions: Mapping[str, List[RefinementContribution]],
+) -> SCCSummary:
+    """Package freshly-solved SCC results (pre-refinement) for the store."""
+    out: Dict[str, ProcedureSummary] = {}
+    for name in scc:
+        result = results[name]
+        out[name] = ProcedureSummary(
+            name=name,
+            scheme=result.scheme,
+            formal_ins=dict(result.formal_in_sketches),
+            formal_outs=dict(result.formal_out_sketches),
+            contributions=list(contributions.get(name, ())),
+        )
+    return SCCSummary(members=tuple(scc), procedures=out)
+
+
+def serialize_summary(summary: SCCSummary) -> Dict[str, object]:
+    """SCC summary -> JSON-able payload (see the round-trip tests)."""
+    return {
+        "format": STORE_FORMAT,
+        "members": list(summary.members),
+        "procedures": {
+            name: {
+                "scheme": proc.scheme.to_json(),
+                "formal_ins": [
+                    [str(dtv), sketch.to_json()] for dtv, sketch in proc.formal_ins.items()
+                ],
+                "formal_outs": [
+                    [str(dtv), sketch.to_json()] for dtv, sketch in proc.formal_outs.items()
+                ],
+                "contributions": [
+                    {
+                        "caller": c.caller,
+                        "callee": c.callee,
+                        "formal": str(c.formal),
+                        "kind": c.kind,
+                        "sketch": c.sketch.to_json(),
+                    }
+                    for c in proc.contributions
+                ],
+            }
+            for name, proc in summary.procedures.items()
+        },
+    }
+
+
+def deserialize_summary(payload: Mapping[str, object], lattice: TypeLattice) -> SCCSummary:
+    """JSON payload -> SCC summary (inverse of :func:`serialize_summary`)."""
+    procedures: Dict[str, ProcedureSummary] = {}
+    for name, entry in payload["procedures"].items():
+        procedures[name] = ProcedureSummary(
+            name=name,
+            scheme=TypeScheme.from_json(entry["scheme"]),
+            formal_ins={
+                parse_dtv(text): Sketch.from_json(data, lattice)
+                for text, data in entry["formal_ins"]
+            },
+            formal_outs={
+                parse_dtv(text): Sketch.from_json(data, lattice)
+                for text, data in entry["formal_outs"]
+            },
+            contributions=[
+                RefinementContribution(
+                    caller=c["caller"],
+                    callee=c["callee"],
+                    formal=parse_dtv(c["formal"]),
+                    kind=c["kind"],
+                    sketch=Sketch.from_json(c["sketch"], lattice),
+                )
+                for c in entry["contributions"]
+            ],
+        )
+    return SCCSummary(members=tuple(payload["members"]), procedures=procedures)
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store (cumulative across programs)."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SummaryStore:
+    """Two-tier (LRU memory + optional JSON disk) summary cache.
+
+    The store holds raw JSON payloads, not live objects: entries are serialized
+    on :meth:`put` and deserialized on every :meth:`get`, which both keeps the
+    memory tier compact and guarantees cached summaries cannot be corrupted by
+    later in-place refinement of the sketches handed out.
+    """
+
+    def __init__(self, capacity: int = 4096, cache_dir: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("summary store capacity must be at least 1")
+        self.capacity = capacity
+        self.cache_dir = cache_dir
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.stats = StoreStats()
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -- raw payload tier ------------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def _get_payload(self, key: str) -> Optional[Dict[str, object]]:
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.cache_dir:
+            path = self._disk_path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                except (OSError, ValueError):
+                    return None
+                if payload.get("format") != STORE_FORMAT:
+                    return None
+                self.stats.disk_hits += 1
+                self._admit(key, payload, write_disk=False)
+                return payload
+        return None
+
+    def _admit(self, key: str, payload: Dict[str, object], write_disk: bool) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+        if write_disk and self.cache_dir:
+            path = self._disk_path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, key: str, lattice: TypeLattice) -> Optional[SCCSummary]:
+        """Look a summary up by content key, recording a hit or a miss."""
+        payload = self._get_payload(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return deserialize_summary(payload, lattice)
+
+    def put(self, key: str, summary: SCCSummary) -> None:
+        """Serialize and admit a freshly-solved SCC summary."""
+        self.stats.puts += 1
+        self._admit(key, serialize_summary(summary), write_disk=True)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return bool(self.cache_dir) and os.path.exists(self._disk_path(key))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier, if any, is left untouched)."""
+        self._memory.clear()

@@ -1,0 +1,70 @@
+"""Batch API: corpus analysis over one shared summary store."""
+
+from repro import analyze_corpus, analyze_program
+from repro.eval.harness import run_engine, run_suite_batched
+from repro.eval.workloads import make_cluster
+from repro.baselines import RetypdEngine
+from repro.service import AnalysisService
+
+
+def _cluster():
+    return make_cluster(
+        "batch_c", members=3, shared_functions=10, member_functions=4, seed=77
+    )
+
+
+def test_corpus_shares_summaries_across_cluster_members():
+    workloads = _cluster()
+    report = analyze_corpus({w.name: w.program for w in workloads})
+
+    first, *rest = report
+    assert first.cache_hits == 0  # empty store on the first member
+    for member in rest:
+        assert member.cache_hits > 0, "cluster members must reuse shared-library summaries"
+    assert report.total_cache_hits > 0
+    assert 0.0 < report.hit_rate < 1.0
+    assert report.total_seconds > 0
+    assert len(report) == len(workloads)
+
+
+def test_corpus_results_match_standalone_analysis():
+    workloads = _cluster()
+    report = analyze_corpus({w.name: w.program for w in workloads})
+    for workload in workloads:
+        standalone = analyze_program(workload.program)
+        assert report[workload.name].types.report() == standalone.report()
+
+
+def test_corpus_per_program_stats():
+    workloads = _cluster()
+    report = analyze_corpus([(w.name, w.program) for w in workloads])
+    for member in report:
+        assert member.procedures > 0
+        assert member.wave_widths, "wave widths must be recorded per program"
+        assert member.max_wave_width >= 1
+        assert member.seconds >= 0
+    summary = report.summary()
+    assert "TOTAL" in summary and workloads[0].name in summary
+    assert report.store_stats["puts"] > 0
+
+
+def test_warm_corpus_rerun_is_all_hits():
+    workloads = _cluster()
+    service = AnalysisService()
+    analyze_corpus({w.name: w.program for w in workloads}, service=service)
+    warm = analyze_corpus({w.name: w.program for w in workloads}, service=service)
+    assert warm.total_cache_misses == 0
+    assert warm.hit_rate == 1.0
+
+
+def test_harness_batched_suite_matches_engine_path():
+    workloads = _cluster()
+    batched = run_suite_batched(workloads)
+    plain = run_engine(RetypdEngine(), workloads)
+
+    assert set(batched.per_program) == set(plain.per_program)
+    for name in plain.per_program:
+        assert batched.per_program[name].summary() == plain.per_program[name].summary()
+    assert batched.overall() == plain.overall()
+    assert batched.batch is not None
+    assert batched.batch.total_cache_hits > 0

@@ -1,0 +1,175 @@
+"""Incremental driver: warm-cache identity, exact invalidation cones."""
+
+import pytest
+
+from repro import analyze_program
+from repro.frontend import compile_c
+from repro.ir.instructions import Nop
+from repro.ir.program import Procedure, Program
+from repro.service import AnalysisService, IncrementalSession, ServiceConfig
+
+# A call DAG with a diamond and an unrelated component:
+#
+#   main -> helper -> leaf        (chain)
+#   main -> other                 (second callee)
+#   standalone                    (independent)
+SOURCE = """
+struct box { int value; int fd; };
+
+int leaf(const struct box * b) {
+    return b->value;
+}
+
+int helper(const struct box * b) {
+    return leaf(b) + 1;
+}
+
+int other(int x) {
+    return x * 2;
+}
+
+int main_entry(struct box * b, int x) {
+    return helper(b) + other(x);
+}
+
+int standalone(int a, int b) {
+    return a - b;
+}
+"""
+
+
+def _program():
+    return compile_c(SOURCE).program
+
+
+def _edit(program, name):
+    """A copy of ``program`` with one appended nop in procedure ``name``."""
+    edited = Program(
+        procedures=dict(program.procedures),
+        externs=set(program.externs),
+        globals=dict(program.globals),
+    )
+    victim = edited.procedures[name]
+    edited.procedures[name] = Procedure(
+        name=name, instructions=list(victim.instructions) + [Nop()]
+    )
+    return edited
+
+
+def test_warm_cache_zero_solves_and_identical_output():
+    program = _program()
+    baseline = analyze_program(program)
+
+    service = AnalysisService()
+    cold = service.analyze(program)
+    warm = service.analyze(program)
+
+    assert cold.stats["sccs_solved"] == cold.stats["scc_count"]
+    assert warm.stats["sccs_solved"] == 0
+    assert warm.stats["sccs_cached"] == warm.stats["scc_count"]
+
+    # String-equal signatures across plain pipeline, cold service, warm service.
+    for name in baseline.functions:
+        assert cold.signature(name) == baseline.signature(name)
+        assert warm.signature(name) == baseline.signature(name)
+    assert cold.report() == baseline.report()
+    assert warm.report() == baseline.report()
+    # Schemes survive the serialization round trip verbatim.
+    for name in baseline.functions:
+        assert str(warm.scheme(name)) == str(baseline.scheme(name))
+
+
+def test_editing_one_procedure_resolves_exactly_its_cone():
+    program = _program()
+    session = IncrementalSession(AnalysisService())
+    session.analyze(program)
+
+    edited = _edit(program, "helper")
+    types = session.analyze(edited)
+
+    # helper changed: helper itself and its transitive caller must re-solve;
+    # leaf, other and standalone must come from the cache.
+    assert types.stats["invalidated_procedures"] == ["helper", "main_entry"]
+    assert types.stats["solved_procedures"] == ["helper", "main_entry"]
+    assert set(types.stats["cached_procedures"]) == {"leaf", "other", "standalone"}
+
+    # Editing the root only re-solves the root.
+    edited2 = _edit(edited, "main_entry")
+    types2 = session.analyze(edited2)
+    assert types2.stats["solved_procedures"] == ["main_entry"]
+
+    # Editing the leaf re-solves the whole chain but not the bystanders.
+    edited3 = _edit(edited2, "leaf")
+    types3 = session.analyze(edited3)
+    assert types3.stats["invalidated_procedures"] == ["helper", "leaf", "main_entry"]
+    assert types3.stats["solved_procedures"] == ["helper", "leaf", "main_entry"]
+    assert set(types3.stats["cached_procedures"]) == {"other", "standalone"}
+
+
+def test_incremental_results_match_cold_analysis_of_edited_program():
+    program = _program()
+    session = IncrementalSession(AnalysisService())
+    session.analyze(program)
+
+    edited = _edit(program, "helper")
+    incremental = session.analyze(edited)
+    cold = analyze_program(edited)
+
+    assert incremental.report() == cold.report()
+    for name in cold.functions:
+        assert incremental.signature(name) == cold.signature(name)
+        assert str(incremental.scheme(name)) == str(cold.scheme(name))
+
+
+def test_recursive_scc_is_cached_as_a_unit():
+    source = """
+    struct LL { struct LL * next; int handle; };
+
+    int walk(const struct LL * node) {
+        if (node == NULL) {
+            return 0;
+        }
+        return 1 + walk(node->next);
+    }
+
+    int use(const struct LL * head) {
+        return walk(head);
+    }
+    """
+    program = compile_c(source).program
+    service = AnalysisService()
+    cold = service.analyze(program)
+    warm = service.analyze(program)
+    assert warm.stats["sccs_solved"] == 0
+    assert warm.report() == cold.report()
+
+
+def test_disk_backed_store_warm_across_services(tmp_path):
+    program = _program()
+    cold_service = AnalysisService(ServiceConfig(cache_dir=str(tmp_path)))
+    cold = cold_service.analyze(program)
+
+    # A brand-new service (fresh memory tier) warm-starts from disk.
+    warm_service = AnalysisService(ServiceConfig(cache_dir=str(tmp_path)))
+    warm = warm_service.analyze(program)
+    assert warm.stats["sccs_solved"] == 0
+    assert warm.report() == cold.report()
+
+
+def test_incremental_session_requires_store():
+    with pytest.raises(ValueError):
+        IncrementalSession(AnalysisService(ServiceConfig(use_cache=False)))
+
+
+def test_analyze_program_accepts_service_objects():
+    program = _program()
+    baseline = analyze_program(program)
+
+    service = AnalysisService()
+    analyze_program(program, service=service)
+    warm = analyze_program(program, service=service)
+    assert warm.stats["sccs_solved"] == 0
+    assert warm.report() == baseline.report()
+
+    configured = analyze_program(program, service=ServiceConfig(parallel=True, use_cache=False))
+    assert configured.report() == baseline.report()

@@ -1,0 +1,140 @@
+"""Wave scheduler: levelling invariants and serial/parallel equivalence."""
+
+from repro.frontend import compile_c
+from repro.ir.asmparser import parse_program
+from repro.ir.callgraph import CallGraph
+from repro.service import AnalysisService, ServiceConfig, WaveScheduler
+from repro.service.scheduler import ScheduleStats
+
+
+def _asm_diamond():
+    return parse_program(
+        """
+        leaf1:
+            mov eax, [esp+4]
+            ret
+        leaf2:
+            mov eax, [esp+4]
+            ret
+        mid1:
+            mov eax, [esp+4]
+            push eax
+            call leaf1
+            add esp, 4
+            ret
+        mid2:
+            mov eax, [esp+4]
+            push eax
+            call leaf2
+            add esp, 4
+            ret
+        top:
+            mov eax, [esp+4]
+            push eax
+            call mid1
+            add esp, 4
+            push eax
+            call mid2
+            add esp, 4
+            ret
+        """
+    )
+
+
+def test_wave_levelling_respects_dependencies():
+    graph = CallGraph.from_program(_asm_diamond())
+    waves = graph.scc_waves()
+    wave_of = {}
+    for level, wave in enumerate(waves):
+        for scc in wave:
+            for name in scc:
+                wave_of[name] = level
+    # Every callee strictly below its caller.
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            assert wave_of[callee] < wave_of[caller]
+    assert wave_of["leaf1"] == wave_of["leaf2"] == 0
+    assert wave_of["mid1"] == wave_of["mid2"] == 1
+    assert wave_of["top"] == 2
+    assert [len(w) for w in waves] == [2, 2, 1]
+
+
+def test_wave_levelling_handles_cycles():
+    program = parse_program(
+        """
+        a:
+            call b
+            ret
+        b:
+            call a
+            ret
+        c:
+            call a
+            ret
+        """
+    )
+    graph = CallGraph.from_program(program)
+    waves = graph.scc_waves()
+    assert [sorted(scc) for scc in waves[0]] == [["a", "b"]]
+    assert waves[1] == [["c"]]
+
+
+def test_scheduler_is_deterministic_and_parallel_safe():
+    waves = [[["a"], ["b"], ["c"]], [["d"]]]
+
+    def solve(scc):
+        return {name: name.upper() for name in scc}
+
+    serial, serial_stats = WaveScheduler(parallel=False).run(waves, solve)
+    parallel, parallel_stats = WaveScheduler(parallel=True, max_workers=4).run(waves, solve)
+    assert [scc for scc, _ in serial] == [scc for scc, _ in parallel]
+    assert [r for _, r in serial] == [r for _, r in parallel]
+    assert serial_stats.wave_widths == parallel_stats.wave_widths == [3, 1]
+    assert not serial_stats.parallel and parallel_stats.parallel
+    assert len(parallel_stats.scc_seconds) == 4
+
+
+def test_after_wave_runs_between_waves():
+    waves = [[["a"], ["b"]], [["c"]]]
+    published = []
+
+    def solve(scc):
+        # The second wave must observe the first wave's publication.
+        if scc == ["c"]:
+            assert set(published) == {"a", "b"}
+        return scc[0]
+
+    def publish(wave_results):
+        published.extend(result for _, result in wave_results)
+
+    WaveScheduler(parallel=True, max_workers=2).run(waves, solve, publish)
+    assert published == ["a", "b", "c"]
+
+
+def test_parallel_service_matches_serial_service():
+    source = """
+    struct pair { int first; int second; };
+
+    int get_first(const struct pair * p) { return p->first; }
+    int get_second(const struct pair * p) { return p->second; }
+    int sum_pair(const struct pair * p) { return get_first(p) + get_second(p); }
+    int scale(int x) { return x * 3; }
+    int entry(struct pair * p, int x) { return sum_pair(p) + scale(x); }
+    """
+    program = compile_c(source).program
+    serial = AnalysisService(ServiceConfig(use_cache=False, parallel=False)).analyze(program)
+    parallel = AnalysisService(ServiceConfig(use_cache=False, parallel=True, max_workers=4)).analyze(
+        program
+    )
+    assert parallel.report() == serial.report()
+    for name in serial.functions:
+        assert parallel.signature(name) == serial.signature(name)
+    assert parallel.stats["max_wave_width"] >= 2
+
+
+def test_schedule_stats_shape():
+    stats = ScheduleStats(wave_widths=[3, 2, 1], parallel=True)
+    as_stats = stats.as_stats()
+    assert as_stats["wave_count"] == 3
+    assert as_stats["max_wave_width"] == 3
+    assert abs(as_stats["mean_wave_width"] - 2.0) < 1e-9

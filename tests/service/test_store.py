@@ -1,0 +1,191 @@
+"""Summary store: serialization round trips, LRU eviction, disk persistence."""
+
+import json
+
+import pytest
+
+from repro import analyze_program
+from repro.core.lattice import default_lattice
+from repro.core.schemes import TypeScheme
+from repro.core.sketches import Sketch
+from repro.core.solver import SolverConfig
+from repro.frontend import compile_c
+from repro.service.store import (
+    SCCSummary,
+    SummaryStore,
+    environment_fingerprint,
+    procedure_fingerprint,
+    program_fingerprints,
+    scc_summary_keys,
+    serialize_summary,
+    deserialize_summary,
+    summarize_scc,
+)
+from repro.typegen.externs import ensure_lattice_tags, standard_externs
+
+ALLOCATOR = """
+struct node { struct node * next; int value; };
+
+struct node * push_front(struct node * head, int value) {
+    struct node * n;
+    n = (struct node *) malloc(sizeof(struct node));
+    n->value = value;
+    n->next = head;
+    return n;
+}
+
+int total(const struct node * head) {
+    int sum;
+    sum = 0;
+    while (head != NULL) {
+        sum = sum + head->value;
+        head = head->next;
+    }
+    return sum;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    return analyze_program(compile_c(ALLOCATOR).program)
+
+
+def test_scheme_json_round_trip(analyzed):
+    for name, fn in analyzed.functions.items():
+        scheme = fn.scheme
+        payload = json.loads(json.dumps(scheme.to_json()))
+        rebuilt = TypeScheme.from_json(payload)
+        assert str(rebuilt) == str(scheme)
+        assert rebuilt.quantified == scheme.quantified
+        assert rebuilt.formal_ins == scheme.formal_ins
+        assert rebuilt.formal_outs == scheme.formal_outs
+
+
+def test_sketch_json_round_trip(analyzed):
+    for fn in analyzed.functions.values():
+        for sketch in list(fn.result.formal_in_sketches.values()) + list(
+            fn.result.formal_out_sketches.values()
+        ):
+            payload = json.loads(json.dumps(sketch.to_json()))
+            rebuilt = Sketch.from_json(payload, sketch.lattice)
+            assert str(rebuilt) == str(sketch)
+            # Renumbering is canonical: a second round trip is a fixpoint.
+            assert rebuilt.to_json() == Sketch.from_json(rebuilt.to_json(), sketch.lattice).to_json()
+
+
+def test_recursive_sketch_round_trip(analyzed):
+    recursive = [
+        sketch
+        for fn in analyzed.functions.values()
+        for sketch in fn.result.formal_in_sketches.values()
+        if sketch.is_recursive()
+    ]
+    assert recursive, "the linked-list workload should produce a recursive sketch"
+    for sketch in recursive:
+        rebuilt = Sketch.from_json(sketch.to_json(), sketch.lattice)
+        assert rebuilt.is_recursive()
+        assert str(rebuilt) == str(sketch)
+
+
+def test_fingerprints_are_content_hashes():
+    program = compile_c(ALLOCATOR).program
+    fingerprints = program_fingerprints(program)
+    assert set(fingerprints) == set(program.procedures)
+    again = program_fingerprints(compile_c(ALLOCATOR).program)
+    assert fingerprints == again  # deterministic across compilations
+
+    lattice = ensure_lattice_tags(default_lattice())
+    config = SolverConfig()
+    assert environment_fingerprint(lattice, standard_externs(), config) == (
+        environment_fingerprint(lattice, standard_externs(), config)
+    )
+    # The solver configuration is part of the environment.
+    assert environment_fingerprint(lattice, standard_externs(), config) != (
+        environment_fingerprint(lattice, standard_externs(), SolverConfig(polymorphic=False))
+    )
+
+
+def test_scc_keys_invalidate_transitively():
+    program = compile_c(ALLOCATOR).program
+    edges = {"total": set(), "push_front": {"total"}}
+    sccs = [["total"], ["push_front"]]
+    fingerprints = program_fingerprints(program)
+    keys = scc_summary_keys(sccs, edges, fingerprints, "env")
+
+    # Changing the callee's fingerprint changes both keys.
+    changed = dict(fingerprints)
+    changed["total"] = "0" * 64
+    keys2 = scc_summary_keys(sccs, edges, changed, "env")
+    assert keys2[("total",)] != keys[("total",)]
+    assert keys2[("push_front",)] != keys[("push_front",)]
+
+    # Changing the caller's fingerprint leaves the callee's key alone.
+    changed = dict(fingerprints)
+    changed["push_front"] = "0" * 64
+    keys3 = scc_summary_keys(sccs, edges, changed, "env")
+    assert keys3[("total",)] == keys[("total",)]
+    assert keys3[("push_front",)] != keys[("push_front",)]
+
+
+def _summary_for(analyzed, name):
+    results = {name: analyzed.functions[name].result}
+    return summarize_scc([name], results, {})
+
+
+def test_summary_round_trip(analyzed):
+    lattice = analyzed.display.lattice
+    summary = _summary_for(analyzed, "total")
+    payload = json.loads(json.dumps(serialize_summary(summary)))
+    rebuilt = deserialize_summary(payload, lattice)
+    assert rebuilt.members == summary.members
+    original = summary.procedures["total"]
+    restored = rebuilt.procedures["total"]
+    assert str(restored.scheme) == str(original.scheme)
+    assert set(restored.formal_ins) == set(original.formal_ins)
+    for dtv, sketch in original.formal_ins.items():
+        assert str(restored.formal_ins[dtv]) == str(sketch)
+
+
+def test_lru_eviction(analyzed):
+    lattice = analyzed.display.lattice
+    store = SummaryStore(capacity=2)
+    summary = _summary_for(analyzed, "total")
+    store.put("k1", summary)
+    store.put("k2", summary)
+    store.put("k3", summary)  # evicts k1
+    assert store.stats.evictions == 1
+    assert store.get("k1", lattice) is None
+    assert store.get("k2", lattice) is not None
+    # k2 is now most-recent; adding k4 evicts k3.
+    store.put("k4", summary)
+    assert store.get("k3", lattice) is None
+    assert store.get("k2", lattice) is not None
+    assert store.stats.hits == 2 and store.stats.misses == 2
+
+
+def test_disk_tier_persists_across_stores(tmp_path, analyzed):
+    lattice = analyzed.display.lattice
+    summary = _summary_for(analyzed, "total")
+    first = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    first.put("diskkey", summary)
+
+    second = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    assert "diskkey" in second
+    loaded = second.get("diskkey", lattice)
+    assert loaded is not None
+    assert str(loaded.procedures["total"].scheme) == str(summary.procedures["total"].scheme)
+    assert second.stats.disk_hits == 1
+    # Promoted to memory: a second get is a memory hit.
+    second.get("diskkey", lattice)
+    assert second.stats.memory_hits == 1
+
+
+def test_procedure_fingerprint_tracks_content():
+    program = compile_c(ALLOCATOR).program
+    total = program.procedure("total")
+    before = procedure_fingerprint(total)
+    from repro.ir.instructions import Nop
+
+    total.instructions.append(Nop())
+    assert procedure_fingerprint(total) != before
