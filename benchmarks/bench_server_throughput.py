@@ -1,0 +1,196 @@
+"""Type-query server throughput: concurrent clients, cold vs. warm latency.
+
+Starts a server in-process, then measures three things:
+
+* **cold analyze latency** -- submitting a never-seen program (full pipeline:
+  parse, constraint generation, SCC solving, sketch display);
+* **warm query latency** -- querying an already-analyzed program (a registry
+  dict lookup plus JSON encoding, the server's steady-state hot path);
+* **concurrent fan-out** -- N asyncio clients (default 8) each running an
+  analyze-then-query loop against one server, with every answer checked
+  byte-identical to the single-client reference.
+
+The structural claim (and the PR's acceptance bar): warm queries must be at
+least 10x faster than cold analyses, and all concurrent clients must be
+served correct answers.  Exits non-zero if either fails, so CI can gate on
+it.  ``--quick`` shrinks the workload for smoke use.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py [--quick]
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.eval.workloads import generate_program_source
+from repro.frontend import compile_c
+from repro.server import AsyncTypeQueryClient, ServerConfig, TypeQueryClient, TypeQueryServer
+
+
+def start_server(max_concurrency: int):
+    """Server on a daemon thread; returns (port, server)."""
+    started = threading.Event()
+    info = {}
+
+    def run():
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            server = TypeQueryServer(
+                ServerConfig(port=0, max_concurrency=max_concurrency)
+            )
+            _, port = await server.start()
+            info.update(port=port, server=server)
+            started.set()
+            await server.serve_forever()
+
+        loop.run_until_complete(main())
+
+    threading.Thread(target=run, daemon=True).start()
+    assert started.wait(60), "server failed to start"
+    return info["port"], info["server"]
+
+
+def make_sources(count: int, functions: int):
+    """Distinct asm programs (pre-compiled from generated mini-C)."""
+    sources = []
+    for index in range(count):
+        c_source = generate_program_source(f"bench{index}", functions, seed=1000 + index)
+        sources.append(str(compile_c(c_source).program))
+    return sources
+
+
+def canonical(payload) -> str:
+    if isinstance(payload, dict):
+        payload = {key: value for key, value in payload.items() if key != "stats"}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def bench_cold_analyze(port: int, sources) -> list:
+    latencies = []
+    with TypeQueryClient(port=port) as client:
+        for source in sources:
+            start = time.perf_counter()
+            result = client.analyze(source)
+            latencies.append(time.perf_counter() - start)
+            assert result["cached"] is False, "cold program unexpectedly cached"
+    return latencies
+
+
+def bench_warm_query(port: int, source: str, repeats: int) -> list:
+    latencies = []
+    with TypeQueryClient(port=port) as client:
+        program_id = client.analyze(source)["program_id"]
+        procedures = client.query(program_id)["functions"]
+        target = sorted(procedures)[0]
+        for _ in range(repeats):
+            start = time.perf_counter()
+            client.query(program_id, target)
+            latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def bench_concurrent(port: int, source: str, clients: int, queries: int):
+    """N clients fan out; returns (wall_seconds, requests, mismatches)."""
+    with TypeQueryClient(port=port) as reference_client:
+        program_id = reference_client.analyze(source)["program_id"]
+        procedures = sorted(reference_client.query(program_id)["functions"])
+        reference = {
+            name: canonical(reference_client.query(program_id, name))
+            for name in procedures
+        }
+
+    async def one_client(index: int):
+        client = await AsyncTypeQueryClient.connect("127.0.0.1", port, connect_retries=10)
+        try:
+            result = await client.analyze(source)
+            mismatches = 0 if result["program_id"] == program_id else 1
+            requests = 1
+            for i in range(queries):
+                name = procedures[(index + i) % len(procedures)]
+                payload = await client.query(program_id, name)
+                requests += 1
+                if canonical(payload) != reference[name]:
+                    mismatches += 1
+            return requests, mismatches
+        finally:
+            await client.aclose()
+
+    async def fan_out():
+        return await asyncio.gather(*(one_client(i) for i in range(clients)))
+
+    start = time.perf_counter()
+    results = asyncio.run(fan_out())
+    wall = time.perf_counter() - start
+    requests = sum(r for r, _ in results)
+    mismatches = sum(m for _, m in results)
+    return wall, requests, mismatches
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="type-query server throughput benchmark")
+    parser.add_argument("--quick", action="store_true", help="small workload for CI smoke")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients (default: 8)")
+    parser.add_argument("--functions", type=int, default=None,
+                        help="functions per generated program (default: 6 quick, 14 full)")
+    args = parser.parse_args()
+
+    functions = args.functions or (6 if args.quick else 14)
+    cold_programs = 3 if args.quick else 6
+    warm_repeats = 50 if args.quick else 300
+    queries_per_client = 10 if args.quick else 40
+
+    print(f"generating {cold_programs + 1} programs of ~{functions} functions ...")
+    sources = make_sources(cold_programs + 1, functions)
+    hot_source, cold_sources = sources[0], sources[1:]
+
+    port, server = start_server(max_concurrency=max(4, min(args.clients, 8)))
+    print(f"server on port {port}\n")
+
+    cold = bench_cold_analyze(port, cold_sources)
+    cold_mean = statistics.mean(cold)
+    print(f"cold analyze latency : mean {cold_mean * 1000:8.2f} ms  "
+          f"(min {min(cold) * 1000:.2f}, max {max(cold) * 1000:.2f}, n={len(cold)})")
+
+    warm = bench_warm_query(port, hot_source, warm_repeats)
+    warm_mean = statistics.mean(warm)
+    print(f"warm query latency   : mean {warm_mean * 1000:8.2f} ms  "
+          f"(p50 {statistics.median(warm) * 1000:.2f}, n={len(warm)})")
+    speedup = cold_mean / warm_mean if warm_mean else float("inf")
+    print(f"warm/cold speedup    : {speedup:10.1f}x")
+
+    wall, requests, mismatches = bench_concurrent(
+        port, hot_source, args.clients, queries_per_client
+    )
+    print(f"concurrent fan-out   : {args.clients} clients, {requests} requests in "
+          f"{wall:.3f}s ({requests / wall:.0f} req/s), {mismatches} mismatches")
+
+    registry = server.registry.snapshot()
+    print(f"registry             : {registry['programs']} programs, "
+          f"hit rate {registry['hit_rate']:.0%}")
+
+    failed = []
+    if mismatches:
+        failed.append(f"{mismatches} concurrent answers differed from the reference")
+    if speedup < 10.0:
+        failed.append(f"warm-query speedup {speedup:.1f}x below the 10x bar")
+    if failed:
+        print("\nFAILED: " + "; ".join(failed))
+        return 1
+    print(f"\nOK: {args.clients} concurrent clients served, warm queries "
+          f"{speedup:.0f}x faster than cold analyses")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,12 @@ Subpackages
 ``repro.service``
     The analysis service layer: content-addressed summary caching, incremental
     re-analysis, SCC-wave parallelism and batched corpus analysis.
+``repro.server``
+    The type-query server: an asyncio daemon (``python -m repro.server``),
+    newline-delimited JSON protocol and sync/async clients that serve analyses
+    to concurrent users.
+
+Command line: ``python -m repro analyze file.s [--json]`` for one-shot use.
 """
 
 __version__ = "0.1.0"

@@ -1,0 +1,135 @@
+"""One-shot command line interface: ``python -m repro analyze <file.s> [--json]``.
+
+Analyzes a single program without a server round trip and prints either the
+human-readable signatures or the full JSON payload.  The JSON output is built
+by the same :func:`repro.server.protocol.program_payload` the type-query
+server uses, so dumps produced here are byte-compatible with what a server
+returns for the same source -- a saved ``--json`` file *is* a valid ``query``
+result.
+
+``python -m repro serve ...`` is a convenience alias for
+``python -m repro.server ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+
+def _infer_kind(path: str, kind: str) -> str:
+    if kind != "auto":
+        return kind
+    return "c" if path.endswith(".c") else "asm"
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .server import protocol
+    from .server.registry import ProgramRegistry
+    from .service.incremental import AnalysisService, ServiceConfig
+    from .service.store import environment_fingerprint
+
+    source = _read_source(args.path)
+    kind = _infer_kind(args.path, args.kind)
+    service = AnalysisService(ServiceConfig(use_cache=False))
+    try:
+        if kind == "c":
+            from .frontend import compile_c
+
+            program = compile_c(source).program
+        else:
+            from .ir.asmparser import parse_program
+
+            program = parse_program(source)
+        types = service.analyze(program)
+    except Exception as exc:
+        print(f"error: {kind} analysis of {args.path} failed: {exc}", file=sys.stderr)
+        return 1
+
+    if args.procedure is not None and args.procedure not in types.functions:
+        known = ", ".join(sorted(types.functions)) or "<none>"
+        print(
+            f"error: no procedure {args.procedure!r} (known: {known})", file=sys.stderr
+        )
+        return 1
+
+    # The same environment-qualified content hash a default-configured server
+    # would assign, so ids in saved dumps resolve against a live daemon.
+    environment = environment_fingerprint(
+        service.lattice, service.extern_table, service.config.solver
+    )
+    program_id = ProgramRegistry.make_id(kind, source, environment)
+    if args.json:
+        if args.procedure is not None:
+            payload = protocol.procedure_payload(types, program_id, args.procedure)
+        else:
+            payload = protocol.program_payload(types, program_id)
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True, default=str)
+        print()
+    elif args.procedure is not None:
+        print(types.signature(args.procedure))
+        for name, struct in sorted(types.procedure_structs(args.procedure).items()):
+            print(f"{struct};")
+    else:
+        print(types.report())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server.__main__ import main as serve_main
+
+    return serve_main(args.server_args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Retypd reproduction: machine-code type inference.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze one assembly (.s) or mini-C (.c) file and print its types"
+    )
+    analyze.add_argument("path", help="input file, or '-' for stdin")
+    analyze.add_argument(
+        "--kind",
+        choices=["auto", "asm", "c"],
+        default="auto",
+        help="source language (default: by extension, .c -> mini-C, else asm)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full JSON payload (server-protocol encoding) instead of signatures",
+    )
+    analyze.add_argument(
+        "--procedure", default=None, help="restrict output to one procedure"
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve", help="run the type-query server (alias for python -m repro.server)"
+    )
+    serve.add_argument("server_args", nargs=argparse.REMAINDER, help="arguments for repro.server")
+    serve.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -211,6 +211,112 @@ class ArrayType(CType):
         return f"{self.element}[{count}]"
 
 
+# -- serialization (wire / summary-store round trip) ---------------------------------
+
+
+def ctype_to_json(ctype: CType) -> Dict[str, object]:
+    """A JSON-able representation of a C type, the inverse of :func:`ctype_from_json`.
+
+    Used by the type-query server protocol (and the one-shot CLI) to ship
+    displayed types -- including recursive structs, expressed via
+    :class:`StructRef` -- to remote clients.
+    """
+    if isinstance(ctype, VoidType):
+        return {"k": "void"}
+    if isinstance(ctype, BoolType):
+        return {"k": "bool"}
+    if isinstance(ctype, IntType):
+        return {"k": "int", "size": ctype.size_bits, "signed": ctype.signed}
+    if isinstance(ctype, FloatType):
+        return {"k": "float", "size": ctype.size_bits}
+    if isinstance(ctype, CodeType):
+        return {"k": "code"}
+    if isinstance(ctype, TypedefType):
+        return {
+            "k": "typedef",
+            "name": ctype.name,
+            "underlying": ctype_to_json(ctype.underlying),
+        }
+    if isinstance(ctype, PointerType):
+        return {
+            "k": "ptr",
+            "pointee": ctype_to_json(ctype.pointee),
+            "const": ctype.const,
+            "size": ctype.size_bits,
+        }
+    if isinstance(ctype, StructType):
+        return {
+            "k": "struct",
+            "name": ctype.name,
+            "fields": [
+                {"offset": f.offset, "name": f.name, "type": ctype_to_json(f.ctype)}
+                for f in ctype.fields
+            ],
+        }
+    if isinstance(ctype, StructRef):
+        return {"k": "structref", "name": ctype.name}
+    if isinstance(ctype, UnionType):
+        return {"k": "union", "members": [ctype_to_json(m) for m in ctype.members]}
+    if isinstance(ctype, FunctionType):
+        return {
+            "k": "func",
+            "params": [ctype_to_json(p) for p in ctype.params],
+            "ret": ctype_to_json(ctype.ret),
+        }
+    if isinstance(ctype, ArrayType):
+        return {
+            "k": "array",
+            "element": ctype_to_json(ctype.element),
+            "count": ctype.count,
+        }
+    if isinstance(ctype, UnknownType):
+        return {"k": "unknown", "size": ctype.size_bits}
+    raise TypeError(f"cannot serialize C type {ctype!r}")
+
+
+def ctype_from_json(data: Dict[str, object]) -> CType:
+    """Rebuild a C type serialized by :func:`ctype_to_json`."""
+    kind = data.get("k")
+    if kind == "void":
+        return VoidType()
+    if kind == "bool":
+        return BoolType()
+    if kind == "int":
+        return IntType(data["size"], data["signed"])
+    if kind == "float":
+        return FloatType(data["size"])
+    if kind == "code":
+        return CodeType()
+    if kind == "typedef":
+        return TypedefType(data["name"], ctype_from_json(data["underlying"]))
+    if kind == "ptr":
+        return PointerType(
+            ctype_from_json(data["pointee"]), const=data["const"], size_bits=data["size"]
+        )
+    if kind == "struct":
+        return StructType(
+            data["name"],
+            tuple(
+                StructField(f["offset"], ctype_from_json(f["type"]), f["name"])
+                for f in data["fields"]
+            ),
+        )
+    if kind == "structref":
+        return StructRef(data["name"])
+    if kind == "union":
+        return UnionType(tuple(ctype_from_json(m) for m in data["members"]))
+    if kind == "func":
+        return FunctionType(
+            tuple(ctype_from_json(p) for p in data["params"]),
+            ctype_from_json(data["ret"]),
+        )
+    if kind == "array":
+        return ArrayType(ctype_from_json(data["element"]), data["count"])
+    if kind == "unknown":
+        return UnknownType(data.get("size"))
+    raise ValueError(f"unknown C type payload kind {kind!r}")
+
+
 # -- helpers -------------------------------------------------------------------------
 
 

@@ -273,7 +273,7 @@ class TypeDisplay:
         """
         params: List[CType] = []
         names: List[str] = []
-        for location, sketch in sorted(in_sketches, key=lambda kv: _location_sort_key(kv[0])):
+        for location, sketch in sorted(in_sketches, key=lambda kv: location_sort_key(kv[0])):
             params.append(self.ctype_of_sketch(sketch, Variance.CONTRAVARIANT))
             names.append(f"arg_{location}")
         if out_sketches:
@@ -284,10 +284,11 @@ class TypeDisplay:
 
 
 def _in_sort_key(label: InLabel) -> Tuple[int, str]:
-    return _location_sort_key(label.location)
+    return location_sort_key(label.location)
 
 
-def _location_sort_key(location: str) -> Tuple[int, str]:
+def location_sort_key(location: str) -> Tuple[int, str]:
+    """Parameter display order: stack slots numerically first, then registers."""
     if location.startswith("stack"):
         try:
             return (0, f"{int(location[5:]):08d}")

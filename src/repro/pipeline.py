@@ -31,8 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Mapping, Optional, Union
 
-from .core.ctype import FunctionType, StructType, render_function
-from .core.display import TypeDisplay
+from .core.ctype import (
+    ArrayType,
+    CType,
+    FunctionType,
+    PointerType,
+    StructRef,
+    StructType,
+    TypedefType,
+    UnionType,
+    ctype_to_json,
+    render_function,
+)
+from .core.display import TypeDisplay, location_sort_key
 from .core.labels import InLabel, OutLabel
 from .core.lattice import TypeLattice
 from .core.schemes import TypeScheme
@@ -65,6 +76,84 @@ class FunctionTypes:
     def return_type(self):
         return self.function_type.ret
 
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-able, per-procedure payload for remote queries.
+
+        Everything a client needs about one procedure: the rendered C
+        signature, the displayed C types (parameters in display order plus the
+        return type), the polymorphic type scheme, and the formal sketches --
+        each using the established JSON round-trips (:func:`~repro.core.ctype.
+        ctype_to_json`, :meth:`TypeScheme.to_json <repro.core.schemes.
+        TypeScheme.to_json>`, :meth:`Sketch.to_json <repro.core.sketches.
+        Sketch.to_json>`).  Struct *definitions* live program-wide; see
+        :meth:`ProgramTypes.procedure_structs`.
+        """
+        locations = sorted(self.param_locations, key=location_sort_key)
+        return {
+            "name": self.name,
+            "signature": self.signature(),
+            "params": [
+                {
+                    "name": pname,
+                    "location": location,
+                    "type": ctype_to_json(ptype),
+                    "c": str(ptype),
+                }
+                for pname, location, ptype in zip(
+                    self.param_names, locations, self.function_type.params
+                )
+            ],
+            "return": {
+                "type": ctype_to_json(self.function_type.ret),
+                "c": str(self.function_type.ret),
+            },
+            "scheme": self.scheme.to_json(),
+            "scheme_text": str(self.scheme),
+            "formal_ins": [
+                [str(dtv), sketch.to_json()]
+                for dtv, sketch in self.result.formal_in_sketches.items()
+            ],
+            "formal_outs": [
+                [str(dtv), sketch.to_json()]
+                for dtv, sketch in self.result.formal_out_sketches.items()
+            ],
+        }
+
+
+def _json_safe(value):
+    """Coerce a stats-ish value to something ``json.dumps`` accepts as-is."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=str) if isinstance(value, (set, frozenset)) else value
+        return [_json_safe(entry) for entry in items]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def _referenced_struct_names(ctype: CType, out: set) -> None:
+    """Collect the names of every struct a displayed type mentions."""
+    if isinstance(ctype, (StructRef, StructType)):
+        if ctype.name:
+            out.add(ctype.name)
+        if isinstance(ctype, StructType):
+            for field_ in ctype.fields:
+                _referenced_struct_names(field_.ctype, out)
+    elif isinstance(ctype, PointerType):
+        _referenced_struct_names(ctype.pointee, out)
+    elif isinstance(ctype, TypedefType):
+        _referenced_struct_names(ctype.underlying, out)
+    elif isinstance(ctype, UnionType):
+        for member in ctype.members:
+            _referenced_struct_names(member, out)
+    elif isinstance(ctype, FunctionType):
+        for param in ctype.params:
+            _referenced_struct_names(param, out)
+        _referenced_struct_names(ctype.ret, out)
+    elif isinstance(ctype, ArrayType):
+        _referenced_struct_names(ctype.element, out)
+
 
 @dataclass
 class ProgramTypes:
@@ -89,6 +178,48 @@ class ProgramTypes:
 
     def struct_definitions(self) -> Dict[str, StructType]:
         return self.display.struct_definitions()
+
+    def procedure_structs(self, name: str) -> Dict[str, StructType]:
+        """The struct definitions reachable from one procedure's displayed type.
+
+        This is the "struct layout" a remote ``query`` returns: starting from
+        the function type, every named struct it mentions plus -- transitively
+        -- every struct those definitions mention, so recursive layouts
+        (``struct_0 *next``) always arrive with their definitions.
+        """
+        referenced: set = set()
+        _referenced_struct_names(self.functions[name].function_type, referenced)
+        definitions = self.display.struct_definitions()
+        out: Dict[str, StructType] = {}
+        worklist = sorted(referenced)
+        while worklist:
+            struct_name = worklist.pop()
+            if struct_name in out or struct_name not in definitions:
+                continue
+            struct = definitions[struct_name]
+            out[struct_name] = struct
+            nested: set = set()
+            _referenced_struct_names(struct, nested)
+            worklist.extend(sorted(nested - set(out)))
+        return out
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-able payload of the whole analysis, addressable by procedure.
+
+        The shape served by the type-query server's ``analyze``/``query``
+        verbs and printed by ``python -m repro analyze --json``: per-procedure
+        payloads (:meth:`FunctionTypes.to_json`), the program-wide struct
+        table, the plain-text report and the solver statistics.
+        """
+        return {
+            "functions": {name: fn.to_json() for name, fn in self.functions.items()},
+            "structs": {
+                name: {"type": ctype_to_json(struct), "c": f"{struct};"}
+                for name, struct in sorted(self.display.struct_definitions().items())
+            },
+            "report": self.report(),
+            "stats": _json_safe(self.stats),
+        }
 
     def report(self) -> str:
         """A human-readable summary of every inferred signature."""

@@ -1,0 +1,528 @@
+"""The type-query daemon: an asyncio front door over the analysis service.
+
+One process hosts one :class:`~repro.service.AnalysisService` (and therefore
+one shared summary store, optionally disk-backed) plus one
+:class:`~repro.server.registry.ProgramRegistry` of finished analyses.  Many
+clients connect over TCP and speak the newline-delimited JSON protocol of
+:mod:`repro.server.protocol`:
+
+``analyze``
+    submit assembly text or mini-C source; the program is analyzed (or served
+    straight from the registry when the content hash is known) and its id
+    returned for later queries.
+``query``
+    look up an analyzed program: the whole-program payload, or one procedure's
+    signature / type scheme / formal sketches / struct layout.
+``corpus``
+    submit a batch of programs routed through :func:`repro.analyze_corpus`
+    against the shared store, so cluster members reuse each other's SCC
+    summaries; every member becomes queryable.
+``session.open`` / ``session.edit`` / ``session.close``
+    drive an :class:`~repro.service.IncrementalSession` over the wire: an edit
+    re-solves only the invalidation cone and reports it.
+
+Concurrency model: the event loop only parses, dispatches and serializes.
+All solving runs on a thread pool, admission to which is bounded by a global
+gate (``max_concurrency`` running, at most ``max_pending`` queued -- beyond
+that the server answers a typed ``overloaded`` error instead of accepting
+unbounded work).  Per connection, requests are handled strictly in order and
+each response is drained before the next request is read, so one slow client
+gets backpressure instead of an unbounded output buffer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import __version__
+from ..service.incremental import AnalysisService, IncrementalSession, ServiceConfig
+from ..service.store import environment_fingerprint
+from . import protocol
+from .protocol import ErrorCode, ProtocolError
+from .registry import ProgramRegistry
+
+logger = logging.getLogger("repro.server")
+
+
+@dataclass
+class ServerConfig:
+    """Everything tunable about one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8791
+    #: directory for the summary store's persistent disk tier (None = memory only).
+    store_dir: Optional[str] = None
+    #: in-memory LRU capacity of the summary store.
+    cache_capacity: int = 4096
+    #: how many analyzed programs the registry keeps hot.
+    registry_capacity: int = 128
+    #: analyses running at once (thread-pool width and gate size).
+    max_concurrency: int = 4
+    #: analyses allowed to queue on the gate before ``overloaded`` replies.
+    max_pending: int = 64
+    #: per-request line cap; longer lines get a ``too_large`` error.
+    max_request_bytes: int = protocol.MAX_LINE_BYTES
+    #: solve independent SCC waves of one analysis on threads as well.
+    parallel_waves: bool = False
+    #: open incremental sessions allowed at once (a disconnected client's
+    #: sessions stay reclaimable only via this bound).
+    max_sessions: int = 64
+    #: honour the ``shutdown`` verb (off by default; tests and CI enable it).
+    allow_shutdown: bool = False
+
+
+class _Session:
+    """One open incremental session and the lock serializing its edits."""
+
+    def __init__(self, session: IncrementalSession) -> None:
+        self.session = session
+        self.lock = asyncio.Lock()
+        self.program_id: Optional[str] = None
+        self.edits = 0
+
+
+class TypeQueryServer:
+    """The asyncio daemon.  Construct, ``await start()``, then serve."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        service: Optional[AnalysisService] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.service = service or AnalysisService(
+            ServiceConfig(
+                use_cache=True,
+                cache_capacity=self.config.cache_capacity,
+                cache_dir=self.config.store_dir,
+                parallel=self.config.parallel_waves,
+            )
+        )
+        if self.service.store is None:
+            raise ValueError("the type-query server requires a service with a summary store")
+        self.registry = ProgramRegistry(self.config.registry_capacity)
+        self._environment = environment_fingerprint(
+            self.service.lattice, self.service.extern_table, self.service.config.solver
+        )
+        self._sessions: Dict[str, _Session] = {}
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency, thread_name_prefix="repro-analyze"
+        )
+        self._gate: Optional[asyncio.Semaphore] = None  # loop-bound; made in start()
+        self._pending = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._started = 0.0
+        self._stopping: Optional[asyncio.Event] = None
+        self.requests_served = 0
+        self.errors_returned = 0
+        self.connections_accepted = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the actual (host, port) -- port 0 resolves."""
+        self._gate = asyncio.Semaphore(self.config.max_concurrency)
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_request_bytes,
+        )
+        self._started = time.monotonic()
+        sockname = self._server.sockets[0].getsockname()
+        host, port = sockname[0], sockname[1]
+        logger.info("type-query server listening on %s:%d", host, port)
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`aclose` (or an allowed ``shutdown`` verb) fires."""
+        assert self._server is not None and self._stopping is not None
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drain live connection handlers so teardown never logs stray
+        # cancellations (handlers treat cancellation as an orderly hangup).
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        peer = writer.get_extra_info("peername")
+        logger.debug("connection from %s", peer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line overran the StreamReader limit; framing is lost,
+                    # so answer once and hang up.
+                    self.errors_returned += 1
+                    writer.write(
+                        protocol.encode(
+                            protocol.make_error(
+                                None,
+                                ErrorCode.TOO_LARGE,
+                                f"request line exceeds {self.config.max_request_bytes} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                writer.write(protocol.encode(response))
+                # Backpressure: never read the next request while this
+                # client's socket buffer is still full of the last answer.
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown while this connection was open: hang up quietly
+            # (completing, not re-raising, keeps the task out of the logs).
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError, OSError):
+                # CancelledError here means the server was torn down while the
+                # transport was draining; completing quietly is the goal.
+                pass
+            logger.debug("connection from %s closed", peer)
+
+    async def _respond(self, line: bytes) -> Dict[str, object]:
+        request_id: Optional[int] = None
+        try:
+            message = protocol.decode_line(line)
+            # Salvage the correlation id before validation so even version /
+            # shape errors reach the right caller.
+            candidate = message.get("id")
+            if isinstance(candidate, (int, str)):
+                request_id = candidate
+            op, params, request_id = protocol.validate_request(message)
+            result = await self._dispatch(op, params)
+            self.requests_served += 1
+            return protocol.make_response(request_id, result)
+        except ProtocolError as exc:
+            self.errors_returned += 1
+            return protocol.make_error(request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die
+            logger.exception("internal error handling request")
+            self.errors_returned += 1
+            return protocol.make_error(
+                request_id, ErrorCode.INTERNAL_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+
+    # -- the global concurrency gate -------------------------------------------
+
+    async def _run_analysis(self, fn: Callable[[], object]) -> object:
+        """Run blocking analysis work on the pool, bounded by the global gate."""
+        assert self._gate is not None
+        if self._pending >= self.config.max_pending:
+            raise ProtocolError(
+                ErrorCode.OVERLOADED,
+                f"{self._pending} analyses already queued (max_pending="
+                f"{self.config.max_pending}); retry later",
+            )
+        self._pending += 1
+        try:
+            async with self._gate:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(self._executor, fn)
+        finally:
+            self._pending -= 1
+
+    # -- program intake --------------------------------------------------------
+
+    def _parse_source(self, source: str, kind: str):
+        """Source text -> IR program (executor thread; raises ProtocolError)."""
+        try:
+            if kind == "c":
+                from ..frontend import compile_c
+
+                return compile_c(source).program
+            from ..ir.asmparser import parse_program
+
+            return parse_program(source)
+        except Exception as exc:  # parse/typecheck/codegen failures are client errors
+            raise ProtocolError(
+                ErrorCode.PARSE_ERROR, f"{kind} source rejected: {exc}"
+            )
+
+    def _analyze_source(self, source: str, kind: str):
+        """Full intake on an executor thread: parse then analyze."""
+        program = self._parse_source(source, kind)
+        try:
+            return self.service.analyze(program)
+        except ProtocolError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(ErrorCode.ANALYSIS_ERROR, f"analysis failed: {exc}")
+
+    def _program_id(self, source: str, kind: str) -> str:
+        return ProgramRegistry.make_id(kind, source, self._environment)
+
+    async def _intake(self, params: Dict[str, object]) -> Tuple[str, object, bool]:
+        """Shared analyze path: returns (program_id, types, served_without_solving).
+
+        In-flight requests are deduplicated by content hash: when N clients
+        submit the same never-seen source concurrently, exactly one analysis
+        runs and the other N-1 await its future (the registry docstring's
+        "analyzes once" holds under concurrency, and duplicate submissions
+        cannot saturate the gate).
+        """
+        source = protocol.require_str(params, "source")
+        kind = protocol.source_kind(params)
+        program_id = self._program_id(source, kind)
+        types = self.registry.get(program_id)
+        if types is not None:
+            return program_id, types, True
+        existing = self._inflight.get(program_id)
+        if existing is not None:
+            return program_id, await asyncio.shield(existing), True
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[program_id] = future
+        try:
+            types = await self._run_analysis(lambda: self._analyze_source(source, kind))
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: waiters re-raise, logs stay quiet
+            raise
+        else:
+            self.registry.admit(program_id, types)
+            if not future.cancelled():
+                future.set_result(types)
+            return program_id, types, False
+        finally:
+            self._inflight.pop(program_id, None)
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch(self, op: str, params: Dict[str, object]) -> object:
+        handler = {
+            "ping": self._op_ping,
+            "stats": self._op_stats,
+            "analyze": self._op_analyze,
+            "query": self._op_query,
+            "corpus": self._op_corpus,
+            "session.open": self._op_session_open,
+            "session.edit": self._op_session_edit,
+            "session.close": self._op_session_close,
+            "shutdown": self._op_shutdown,
+        }[op]
+        return await handler(params)
+
+    async def _op_ping(self, params: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "server": protocol.SERVER_NAME,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": __version__,
+            "pid": os.getpid(),
+        }
+
+    async def _op_stats(self, params: Dict[str, object]) -> Dict[str, object]:
+        store = self.service.store
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "connections_accepted": self.connections_accepted,
+            "requests_served": self.requests_served,
+            "errors_returned": self.errors_returned,
+            "analyses_pending": self._pending,
+            "sessions_open": len(self._sessions),
+            "registry": self.registry.snapshot(),
+            "store": store.stats.snapshot() if store is not None else {},
+        }
+
+    async def _op_analyze(self, params: Dict[str, object]) -> Dict[str, object]:
+        program_id, types, cached = await self._intake(params)
+        return protocol.analyze_payload(
+            types, program_id, cached, full=bool(params.get("full", False))
+        )
+
+    async def _op_query(self, params: Dict[str, object]) -> Dict[str, object]:
+        program_id = protocol.require_str(params, "program_id")
+        types = self.registry.get(program_id)
+        if types is None:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_PROGRAM,
+                f"no analyzed program {program_id!r} (analyze it first; the "
+                f"registry keeps the most recent {self.registry.capacity})",
+            )
+        procedure = params.get("procedure")
+        if procedure is None:
+            return protocol.program_payload(types, program_id)
+        if not isinstance(procedure, str):
+            raise ProtocolError(ErrorCode.INVALID_PARAMS, "procedure must be a string")
+        return protocol.procedure_payload(types, program_id, procedure)
+
+    async def _op_corpus(self, params: Dict[str, object]) -> Dict[str, object]:
+        programs = params.get("programs")
+        if not isinstance(programs, dict) or not programs:
+            raise ProtocolError(
+                ErrorCode.INVALID_PARAMS,
+                "corpus needs a non-empty 'programs' object: name -> "
+                "{'source': ..., 'kind': 'asm'|'c'}",
+            )
+        normalized: Dict[str, Tuple[str, str]] = {}
+        for name, entry in programs.items():
+            if isinstance(entry, str):
+                entry = {"source": entry}
+            if not isinstance(entry, dict):
+                raise ProtocolError(
+                    ErrorCode.INVALID_PARAMS, f"corpus entry {name!r} must be an object"
+                )
+            normalized[name] = (
+                protocol.require_str(entry, "source"),
+                protocol.source_kind(entry),
+            )
+
+        def run_batch():
+            from ..service.batch import analyze_corpus
+
+            parsed = {
+                name: self._parse_source(source, kind)
+                for name, (source, kind) in normalized.items()
+            }
+            return analyze_corpus(parsed, service=self.service)
+
+        report = await self._run_analysis(run_batch)
+        result: Dict[str, object] = {"programs": {}, "store": self.service.store.stats.snapshot()}
+        for name, (source, kind) in normalized.items():
+            program_report = report[name]
+            program_id = self._program_id(source, kind)
+            self.registry.admit(program_id, program_report.types)
+            result["programs"][name] = {
+                "program_id": program_id,
+                "procedures": sorted(program_report.types.functions),
+                "cache_hits": program_report.cache_hits,
+                "cache_misses": program_report.cache_misses,
+                "seconds": program_report.seconds,
+            }
+        return result
+
+    async def _op_session_open(self, params: Dict[str, object]) -> Dict[str, object]:
+        if len(self._sessions) >= self.config.max_sessions:
+            raise ProtocolError(
+                ErrorCode.OVERLOADED,
+                f"{len(self._sessions)} sessions already open (max_sessions="
+                f"{self.config.max_sessions}); close one first",
+            )
+        session_id = uuid.uuid4().hex
+        state = _Session(IncrementalSession(self.service))
+        # Reserve the slot before awaiting anything: the cap check plus this
+        # insert run atomically on the event loop, so concurrent opens cannot
+        # overshoot max_sessions.  A failed opening analysis releases it.
+        self._sessions[session_id] = state
+        try:
+            async with state.lock:
+                payload = await self._session_analyze(state, params)
+        except BaseException:
+            self._sessions.pop(session_id, None)
+            raise
+        payload["session_id"] = session_id
+        return payload
+
+    async def _op_session_edit(self, params: Dict[str, object]) -> Dict[str, object]:
+        session_id = protocol.require_str(params, "session_id")
+        state = self._sessions.get(session_id)
+        if state is None:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_SESSION, f"no open session {session_id!r}"
+            )
+        async with state.lock:
+            state.edits += 1
+            payload = await self._session_analyze(state, params)
+        payload["session_id"] = session_id
+        payload["edits"] = state.edits
+        return payload
+
+    async def _session_analyze(
+        self, state: _Session, params: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Run one (re-)analysis inside a session; annotates invalidation stats."""
+        source = protocol.require_str(params, "source")
+        kind = protocol.source_kind(params)
+        program_id = self._program_id(source, kind)
+
+        def run():
+            program = self._parse_source(source, kind)
+            try:
+                return state.session.analyze(program)
+            except Exception as exc:
+                raise ProtocolError(ErrorCode.ANALYSIS_ERROR, f"analysis failed: {exc}")
+
+        types = await self._run_analysis(run)
+        self.registry.admit(program_id, types)
+        stats = types.stats
+        return {
+            "program_id": program_id,
+            "procedures": sorted(types.functions),
+            "signatures": {name: types.signature(name) for name in sorted(types.functions)},
+            "invalidated_procedures": list(stats.get("invalidated_procedures", [])),
+            "solved_procedures": list(stats.get("solved_procedures", [])),
+            "cached_procedures": list(stats.get("cached_procedures", [])),
+            "sccs_solved": stats.get("sccs_solved", 0),
+            "sccs_cached": stats.get("sccs_cached", 0),
+        }
+
+    async def _op_session_close(self, params: Dict[str, object]) -> Dict[str, object]:
+        session_id = protocol.require_str(params, "session_id")
+        state = self._sessions.pop(session_id, None)
+        if state is None:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_SESSION, f"no open session {session_id!r}"
+            )
+        return {"session_id": session_id, "closed": True, "edits": state.edits}
+
+    async def _op_shutdown(self, params: Dict[str, object]) -> Dict[str, object]:
+        if not self.config.allow_shutdown:
+            raise ProtocolError(
+                ErrorCode.SHUTDOWN_DISABLED,
+                "remote shutdown is disabled (start the server with --allow-shutdown)",
+            )
+        assert self._stopping is not None
+        self._stopping.set()
+        return {"stopping": True}
+
+
+async def run_server(config: Optional[ServerConfig] = None) -> None:
+    """Start a server and serve until shut down (the ``__main__`` entry point)."""
+    server = TypeQueryServer(config)
+    host, port = await server.start()
+    print(f"{protocol.SERVER_NAME} v{__version__} listening on {host}:{port}", flush=True)
+    await server.serve_forever()

@@ -1,0 +1,248 @@
+"""Clients for the type-query server: one synchronous, one asyncio.
+
+Both speak the protocol of :mod:`repro.server.protocol` and expose the same
+verb-per-method surface::
+
+    from repro.server import TypeQueryClient
+
+    with TypeQueryClient(port=8791) as client:
+        result = client.analyze(asm_text)
+        sig = client.query(result["program_id"], "main")["signature"]
+
+Server-side failures surface as :class:`TypeQueryError` carrying the typed
+error code, so callers can distinguish a mistyped procedure name
+(``unknown_procedure``) from a saturated server (``overloaded``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import time
+from typing import Dict, Mapping, Optional
+
+from . import protocol
+from .protocol import ProtocolError
+
+
+class TypeQueryError(RuntimeError):
+    """An error reply from the server (or a protocol violation)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+def _check_reply(reply: Mapping[str, object], request_id: object) -> object:
+    if not isinstance(reply, dict) or "ok" not in reply:
+        raise TypeQueryError(
+            protocol.ErrorCode.BAD_REQUEST, f"malformed server reply: {reply!r}"
+        )
+    if not reply["ok"]:
+        # Error replies may carry id=null (e.g. too_large, where the request
+        # line never parsed); replies arrive in order, so this is ours --
+        # surface the typed code, not a correlation complaint.
+        error = reply.get("error") or {}
+        raise TypeQueryError(
+            error.get("code", protocol.ErrorCode.INTERNAL_ERROR),
+            error.get("message", "unknown server error"),
+        )
+    if reply.get("id") != request_id:
+        raise TypeQueryError(
+            protocol.ErrorCode.BAD_REQUEST,
+            f"reply correlation id {reply.get('id')!r} != request id {request_id!r}",
+        )
+    return reply.get("result")
+
+
+class _VerbMixin:
+    """The verb surface, expressed over an abstract ``request`` method.
+
+    Works for both clients: on the sync client the methods return results
+    directly; on the async client they return awaitables (``await
+    client.analyze(...)``).
+    """
+
+    def ping(self):
+        return self.request("ping")
+
+    def stats(self):
+        return self.request("stats")
+
+    def analyze(self, source: str, kind: str = "asm", full: bool = False):
+        return self.request(
+            "analyze", {"source": source, "kind": kind, "full": full}
+        )
+
+    def query(self, program_id: str, procedure: Optional[str] = None):
+        params: Dict[str, object] = {"program_id": program_id}
+        if procedure is not None:
+            params["procedure"] = procedure
+        return self.request("query", params)
+
+    def corpus(self, programs: Mapping[str, object], kind: str = "asm"):
+        """Submit ``{name: source}`` or ``{name: {"source":..., "kind":...}}``."""
+        normalized = {
+            name: entry if isinstance(entry, Mapping) else {"source": entry, "kind": kind}
+            for name, entry in programs.items()
+        }
+        return self.request("corpus", {"programs": normalized})
+
+    def session_open(self, source: str, kind: str = "asm"):
+        return self.request("session.open", {"source": source, "kind": kind})
+
+    def session_edit(self, session_id: str, source: str, kind: str = "asm"):
+        return self.request(
+            "session.edit", {"session_id": session_id, "source": source, "kind": kind}
+        )
+
+    def session_close(self, session_id: str):
+        return self.request("session.close", {"session_id": session_id})
+
+    def shutdown(self):
+        return self.request("shutdown")
+
+
+class TypeQueryClient(_VerbMixin):
+    """Blocking client over a plain TCP socket.
+
+    ``connect_retries``/``connect_delay`` let scripts race a server that is
+    still starting up (the CI smoke test does exactly that).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8791,
+        timeout: float = 60.0,
+        connect_retries: int = 0,
+        connect_delay: float = 0.2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        last_error: Optional[Exception] = None
+        for attempt in range(connect_retries + 1):
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt == connect_retries:
+                    raise
+                time.sleep(connect_delay)
+        assert self._sock is not None, last_error
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, op: str, params: Optional[Mapping[str, object]] = None):
+        if self._file is None:
+            raise TypeQueryError(protocol.ErrorCode.BAD_REQUEST, "client is closed")
+        request_id = next(self._ids)
+        self._file.write(protocol.encode(protocol.make_request(op, params, request_id)))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise TypeQueryError(
+                protocol.ErrorCode.INTERNAL_ERROR, "server closed the connection"
+            )
+        try:
+            reply = protocol.decode_line(line)
+        except ProtocolError as exc:
+            raise TypeQueryError(exc.code, exc.message)
+        return _check_reply(reply, request_id)
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "TypeQueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncTypeQueryClient(_VerbMixin):
+    """Asyncio client; every verb method is awaitable.
+
+    Create with :meth:`connect`::
+
+        client = await AsyncTypeQueryClient.connect(port=8791)
+        result = await client.analyze(source)
+        await client.aclose()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8791,
+        connect_retries: int = 0,
+        connect_delay: float = 0.2,
+        limit: int = protocol.MAX_LINE_BYTES,
+    ) -> "AsyncTypeQueryClient":
+        for attempt in range(connect_retries + 1):
+            try:
+                reader, writer = await asyncio.open_connection(host, port, limit=limit)
+                return cls(reader, writer)
+            except OSError:
+                if attempt == connect_retries:
+                    raise
+                await asyncio.sleep(connect_delay)
+        raise AssertionError("unreachable")
+
+    async def request(self, op: str, params: Optional[Mapping[str, object]] = None):
+        # One in-flight request per client: the protocol answers in order, so
+        # interleaved writers would cross-correlate replies.
+        async with self._lock:
+            request_id = next(self._ids)
+            self._writer.write(
+                protocol.encode(protocol.make_request(op, params, request_id))
+            )
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise TypeQueryError(
+                protocol.ErrorCode.INTERNAL_ERROR, "server closed the connection"
+            )
+        try:
+            reply = protocol.decode_line(line)
+        except ProtocolError as exc:
+            raise TypeQueryError(exc.code, exc.message)
+        return _check_reply(reply, request_id)
+
+    async def aclose(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncTypeQueryClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -1,0 +1,236 @@
+"""The type-query wire protocol: newline-delimited JSON, versioned, typed errors.
+
+One message per line, UTF-8 JSON, in both directions.  Requests carry the
+protocol version, a client-chosen correlation id, an operation name and a
+parameter object::
+
+    {"v": 1, "id": 3, "op": "query", "params": {"program_id": "...", "procedure": "main"}}
+
+Responses echo the id and either carry a result or a typed error::
+
+    {"v": 1, "id": 3, "ok": true, "result": {...}}
+    {"v": 1, "id": 3, "ok": false, "error": {"code": "unknown_procedure", "message": "..."}}
+
+The payload builders at the bottom are shared by everything that speaks this
+encoding: the asyncio daemon (:mod:`repro.server.app`), the clients
+(:mod:`repro.server.client`) and the one-shot CLI (``python -m repro
+analyze --json``), so a saved ``--json`` dump is byte-compatible with what the
+server returns for the same program.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional, Tuple
+
+#: bump on incompatible message-shape changes; servers reject other versions.
+PROTOCOL_VERSION = 1
+
+#: identifies the daemon in ``ping`` responses.
+SERVER_NAME = "repro-type-server"
+
+#: default cap on one request line (and the server's StreamReader limit).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ErrorCode:
+    """Typed error codes -- stable strings clients can switch on."""
+
+    BAD_REQUEST = "bad_request"  # unparseable line / not a JSON object
+    UNSUPPORTED_VERSION = "unsupported_version"
+    UNKNOWN_OP = "unknown_op"
+    INVALID_PARAMS = "invalid_params"
+    PARSE_ERROR = "parse_error"  # the submitted asm / mini-C failed to parse
+    ANALYSIS_ERROR = "analysis_error"  # the pipeline itself failed
+    UNKNOWN_PROGRAM = "unknown_program"
+    UNKNOWN_PROCEDURE = "unknown_procedure"
+    UNKNOWN_SESSION = "unknown_session"
+    OVERLOADED = "overloaded"  # the global concurrency gate is saturated
+    TOO_LARGE = "too_large"  # request line exceeded the server's limit
+    SHUTDOWN_DISABLED = "shutdown_disabled"
+    INTERNAL_ERROR = "internal_error"
+
+    ALL = frozenset(
+        {
+            BAD_REQUEST,
+            UNSUPPORTED_VERSION,
+            UNKNOWN_OP,
+            INVALID_PARAMS,
+            PARSE_ERROR,
+            ANALYSIS_ERROR,
+            UNKNOWN_PROGRAM,
+            UNKNOWN_PROCEDURE,
+            UNKNOWN_SESSION,
+            OVERLOADED,
+            TOO_LARGE,
+            SHUTDOWN_DISABLED,
+            INTERNAL_ERROR,
+        }
+    )
+
+
+#: operations a conforming server must implement.
+OPERATIONS = frozenset(
+    {
+        "ping",
+        "stats",
+        "analyze",
+        "query",
+        "corpus",
+        "session.open",
+        "session.edit",
+        "session.close",
+        "shutdown",
+    }
+)
+
+#: program source kinds accepted by ``analyze``/``corpus``/``session.open``.
+SOURCE_KINDS = frozenset({"asm", "c"})
+
+
+class ProtocolError(Exception):
+    """A request failure with a typed code; the server turns it into an error reply."""
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ErrorCode.ALL, f"untyped error code {code!r}"
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# ---------------------------------------------------------------------------
+# Message construction / parsing
+# ---------------------------------------------------------------------------
+
+
+def make_request(
+    op: str,
+    params: Optional[Mapping[str, object]] = None,
+    request_id: Optional[int] = None,
+) -> Dict[str, object]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "op": op,
+        "params": dict(params or {}),
+    }
+
+
+def make_response(request_id: Optional[int], result: object) -> Dict[str, object]:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def make_error(
+    request_id: Optional[int], code: str, message: str
+) -> Dict[str, object]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode(message: Mapping[str, object]) -> bytes:
+    """One protocol message -> one UTF-8 JSON line (compact, key-sorted)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """One received line -> message dict; raises :class:`ProtocolError` if malformed."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(ErrorCode.BAD_REQUEST, f"unparseable request line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError(ErrorCode.BAD_REQUEST, "request must be a JSON object")
+    return message
+
+
+def validate_request(
+    message: Mapping[str, object],
+) -> Tuple[str, Dict[str, object], Optional[int]]:
+    """Check version/shape; returns ``(op, params, request_id)``."""
+    request_id = message.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError(ErrorCode.BAD_REQUEST, "request id must be int, str or null")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ErrorCode.UNSUPPORTED_VERSION,
+            f"protocol version {version!r} not supported (server speaks {PROTOCOL_VERSION})",
+        )
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPERATIONS:
+        raise ProtocolError(ErrorCode.UNKNOWN_OP, f"unknown operation {op!r}")
+    params = message.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(ErrorCode.INVALID_PARAMS, "params must be a JSON object")
+    return op, params, request_id
+
+
+def require_str(params: Mapping[str, object], key: str) -> str:
+    value = params.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            ErrorCode.INVALID_PARAMS, f"missing or non-string parameter {key!r}"
+        )
+    return value
+
+
+def source_kind(params: Mapping[str, object]) -> str:
+    kind = params.get("kind", "asm")
+    if kind not in SOURCE_KINDS:
+        raise ProtocolError(
+            ErrorCode.INVALID_PARAMS,
+            f"unknown source kind {kind!r} (expected one of {sorted(SOURCE_KINDS)})",
+        )
+    return kind
+
+
+# ---------------------------------------------------------------------------
+# Result payloads (shared by server, clients and the one-shot CLI)
+# ---------------------------------------------------------------------------
+
+
+def analyze_payload(
+    types, program_id: str, cached: bool, full: bool = False
+) -> Dict[str, object]:
+    """The ``analyze`` result: id + signatures, optionally the full program."""
+    payload: Dict[str, object] = {
+        "program_id": program_id,
+        "cached": cached,
+        "procedures": sorted(types.functions),
+        "signatures": {name: types.signature(name) for name in sorted(types.functions)},
+    }
+    if full:
+        payload["program"] = program_payload(types, program_id)
+    return payload
+
+
+def program_payload(types, program_id: Optional[str] = None) -> Dict[str, object]:
+    """The whole-program payload (``query`` without a procedure)."""
+    payload = types.to_json()
+    if program_id is not None:
+        payload["program_id"] = program_id
+    return payload
+
+
+def procedure_payload(types, program_id: str, procedure: str) -> Dict[str, object]:
+    """The per-procedure ``query`` result: signature, scheme, sketches, layout."""
+    from ..core.ctype import ctype_to_json
+
+    if procedure not in types.functions:
+        raise ProtocolError(
+            ErrorCode.UNKNOWN_PROCEDURE,
+            f"program {program_id} has no procedure {procedure!r}",
+        )
+    payload = types.functions[procedure].to_json()
+    payload["program_id"] = program_id
+    payload["structs"] = {
+        name: {"type": ctype_to_json(struct), "c": f"{struct};"}
+        for name, struct in sorted(types.procedure_structs(procedure).items())
+    }
+    return payload

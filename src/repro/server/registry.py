@@ -1,0 +1,86 @@
+"""The program registry: analyzed :class:`~repro.pipeline.ProgramTypes` by content hash.
+
+The server's hot path.  A program's identity is the SHA-256 of its source
+kind, its source text and the analysis environment (lattice + externs + solver
+config fingerprint, the same notion the summary store keys on), so
+
+* submitting the same source twice -- from any client -- analyzes once;
+* every ``query`` against an analyzed program is a dict lookup, no solving;
+* changing the server's environment can never serve stale types, because the
+  id itself changes.
+
+The registry is a bounded LRU guarded by a lock: analyses are produced on
+executor threads while queries are answered from the event loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class ProgramRegistry:
+    """Bounded, thread-safe LRU of analyzed programs keyed by content hash."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("program registry capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.admits = 0
+        self.evictions = 0
+
+    @staticmethod
+    def make_id(kind: str, source: str, environment: str = "") -> str:
+        """Content hash identifying one (source, kind, environment) triple."""
+        digest = hashlib.sha256()
+        for part in (kind, "\x00", environment, "\x00", source):
+            digest.update(part.encode("utf-8"))
+        return digest.hexdigest()
+
+    def get(self, program_id: str):
+        """The analyzed program for this id, or ``None`` (records hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(program_id)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(program_id)
+            self.hits += 1
+            return entry
+
+    def admit(self, program_id: str, types) -> None:
+        """Publish an analyzed program, evicting least-recently-used entries."""
+        with self._lock:
+            self._entries[program_id] = types
+            self._entries.move_to_end(program_id)
+            self.admits += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, program_id: str) -> bool:
+        with self._lock:
+            return program_id in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "programs": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "admits": self.admits,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

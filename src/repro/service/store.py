@@ -26,6 +26,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -276,6 +278,7 @@ class StoreStats:
     disk_hits: int = 0
     puts: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -290,6 +293,7 @@ class StoreStats:
             "disk_hits": self.disk_hits,
             "puts": self.puts,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "hit_rate": self.hit_rate,
         }
 
@@ -301,6 +305,15 @@ class SummaryStore:
     on :meth:`put` and deserialized on every :meth:`get`, which both keeps the
     memory tier compact and guarantees cached summaries cannot be corrupted by
     later in-place refinement of the sketches handed out.
+
+    The disk tier is safe to share: writes land in a uniquely-named temp file
+    and are published with an atomic ``os.replace``, so concurrent writers
+    (threads of one process, or several processes pointed at one directory)
+    can never expose a truncated entry, and a killed writer leaves only a
+    stray ``*.tmp`` behind.  Entries that are nevertheless unreadable --
+    hand-edited, disk-damaged, or written by an incompatible version -- are
+    quarantined (renamed to ``*.corrupt``) rather than raised, and count as
+    ordinary misses.
     """
 
     def __init__(self, capacity: int = 4096, cache_dir: Optional[str] = None) -> None:
@@ -309,6 +322,7 @@ class SummaryStore:
         self.capacity = capacity
         self.cache_dir = cache_dir
         self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = StoreStats()
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
@@ -318,64 +332,114 @@ class SummaryStore:
     def _disk_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], f"{key}.json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move an unreadable entry aside so it is never re-parsed (or re-hit)."""
+        with self._lock:
+            self.stats.quarantined += 1
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            # Racing reader already moved it, or the directory is read-only;
+            # either way the entry stays a miss.
+            pass
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._disk_path(key)
+        # Two attempts before quarantining: a corrupt first read can race a
+        # concurrent writer atomically replacing the entry with a good copy,
+        # and quarantining *that* would discard valid cache data.
+        for attempt in (0, 1):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except FileNotFoundError:
+                return None
+            except OSError:
+                # Transient I/O pressure (EMFILE, EIO, EACCES): a miss, not
+                # evidence of corruption -- leave the entry alone.
+                return None
+            except ValueError:
+                continue  # unparseable JSON: retry once, then quarantine
+            if isinstance(payload, dict) and payload.get("format") == STORE_FORMAT:
+                return payload
+            # Parseable but alien (wrong tool or store format): also corrupt
+            # for our purposes, subject to the same retry.
+        self._quarantine(path)
+        return None
+
     def _get_payload(self, key: str) -> Optional[Dict[str, object]]:
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key]
         if self.cache_dir:
-            path = self._disk_path(key)
-            if os.path.exists(path):
-                try:
-                    with open(path, "r", encoding="utf-8") as handle:
-                        payload = json.load(handle)
-                except (OSError, ValueError):
-                    return None
-                if payload.get("format") != STORE_FORMAT:
-                    return None
-                self.stats.disk_hits += 1
+            payload = self._read_disk(key)
+            if payload is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
                 self._admit(key, payload, write_disk=False)
                 return payload
         return None
 
     def _admit(self, key: str, payload: Dict[str, object], write_disk: bool) -> None:
-        self._memory[key] = payload
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
         if write_disk and self.cache_dir:
-            path = self._disk_path(key)
+            self._write_disk(key, payload)
+
+    def _write_disk(self, key: str, payload: Dict[str, object]) -> None:
+        """Publish one entry atomically; cache-write failures never propagate."""
+        path = self._disk_path(key)
+        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     # -- public API ------------------------------------------------------------
 
     def get(self, key: str, lattice: TypeLattice) -> Optional[SCCSummary]:
         """Look a summary up by content key, recording a hit or a miss."""
         payload = self._get_payload(key)
+        with self._lock:
+            if payload is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         if payload is None:
-            self.stats.misses += 1
             return None
-        self.stats.hits += 1
         return deserialize_summary(payload, lattice)
 
     def put(self, key: str, summary: SCCSummary) -> None:
         """Serialize and admit a freshly-solved SCC summary."""
-        self.stats.puts += 1
+        with self._lock:
+            self.stats.puts += 1
         self._admit(key, serialize_summary(summary), write_disk=True)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         return bool(self.cache_dir) and os.path.exists(self._disk_path(key))
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self) -> None:
         """Drop the memory tier (the disk tier, if any, is left untouched)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()

@@ -1,0 +1,115 @@
+"""C-type JSON round trip (the displayed-types leg of the wire protocol)."""
+
+import json
+
+import pytest
+
+from repro.core.ctype import (
+    ArrayType,
+    BoolType,
+    CodeType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructField,
+    StructRef,
+    StructType,
+    TypedefType,
+    UnionType,
+    UnknownType,
+    VoidType,
+    ctype_from_json,
+    ctype_to_json,
+)
+
+SAMPLES = [
+    VoidType(),
+    UnknownType(),
+    UnknownType(32),
+    BoolType(),
+    IntType(32, True),
+    IntType(64, False),
+    IntType(8, True),
+    FloatType(64),
+    CodeType(),
+    TypedefType("size_t", IntType(32, False)),
+    TypedefType("FILE", UnknownType(32)),
+    PointerType(IntType(8, True), const=True),
+    PointerType(PointerType(VoidType())),
+    StructRef("struct_3"),
+    UnionType((IntType(32, True), PointerType(UnknownType()))),
+    FunctionType((IntType(32, True), PointerType(IntType(8, True), const=True)), VoidType()),
+    ArrayType(IntType(16, True), 8),
+    ArrayType(UnknownType(), None),
+    StructType(
+        "list",
+        (
+            StructField(0, PointerType(StructRef("list")), "next"),
+            StructField(4, IntType(32, True), "value"),
+        ),
+    ),
+    # Nested: a struct containing a union of a function pointer and a typedef.
+    StructType(
+        "widget",
+        (
+            StructField(
+                0,
+                UnionType(
+                    (
+                        PointerType(FunctionType((IntType(32, True),), IntType(32, True))),
+                        TypedefType("HANDLE", PointerType(VoidType())),
+                    )
+                ),
+                "u",
+            ),
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("ctype", SAMPLES, ids=[str(c) for c in SAMPLES])
+def test_round_trip_preserves_equality(ctype):
+    payload = json.loads(json.dumps(ctype_to_json(ctype)))
+    rebuilt = ctype_from_json(payload)
+    assert rebuilt == ctype
+    assert str(rebuilt) == str(ctype)
+    # A second trip is a fixpoint.
+    assert ctype_to_json(rebuilt) == ctype_to_json(ctype)
+
+
+def test_round_trip_preserves_sizes_and_depth():
+    deep = PointerType(PointerType(StructRef("s")))
+    rebuilt = ctype_from_json(ctype_to_json(deep))
+    assert rebuilt.pointer_depth() == 2
+    assert rebuilt.size_bits == deep.size_bits
+
+
+def test_unknown_payload_kind_raises():
+    with pytest.raises(ValueError):
+        ctype_from_json({"k": "quaternion"})
+
+
+def test_displayed_types_from_real_analysis_round_trip():
+    from repro import analyze_program
+    from repro.frontend import compile_c
+
+    source = """
+    struct node { struct node * next; int value; };
+
+    int total(const struct node * head) {
+        int sum;
+        sum = 0;
+        while (head != NULL) {
+            sum = sum + head->value;
+            head = head->next;
+        }
+        return sum;
+    }
+    """
+    types = analyze_program(compile_c(source).program)
+    for fn in types.functions.values():
+        rebuilt = ctype_from_json(json.loads(json.dumps(ctype_to_json(fn.function_type))))
+        assert rebuilt == fn.function_type
+    for struct in types.struct_definitions().values():
+        assert ctype_from_json(ctype_to_json(struct)) == struct

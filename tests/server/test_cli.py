@@ -1,0 +1,127 @@
+"""The one-shot CLI: ``python -m repro analyze`` shares the server encoding."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import analyze_program
+from repro.frontend import compile_c
+from repro.server import protocol
+from repro.server.registry import ProgramRegistry
+
+SOURCE = """
+struct node { struct node * next; int value; };
+
+int total(const struct node * head) {
+    int sum;
+    sum = 0;
+    while (head != NULL) {
+        sum = sum + head->value;
+        head = head->next;
+    }
+    return sum;
+}
+
+int twice(int x) {
+    return x + x;
+}
+"""
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def run_cli(*args, stdin=None):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        input=stdin,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def c_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "demo.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def asm_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "demo.s"
+    path.write_text(str(compile_c(SOURCE).program))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return analyze_program(compile_c(SOURCE).program)
+
+
+def test_analyze_prints_signatures(c_file, reference):
+    result = run_cli("analyze", c_file)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == reference.report().strip()
+
+
+def test_analyze_asm_by_extension(asm_file, reference):
+    result = run_cli("analyze", asm_file)
+    assert result.returncode == 0, result.stderr
+    assert reference.signature("total") in result.stdout
+
+
+def test_analyze_json_matches_server_encoding(c_file, reference):
+    result = run_cli("analyze", c_file, "--json")
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    # The CLI must assign the same environment-qualified id a
+    # default-configured server would (saved dumps resolve against a daemon).
+    from repro.service.incremental import AnalysisService, ServiceConfig
+    from repro.service.store import environment_fingerprint
+
+    service = AnalysisService(ServiceConfig(use_cache=False))
+    environment = environment_fingerprint(
+        service.lattice, service.extern_table, service.config.solver
+    )
+    expected_id = ProgramRegistry.make_id("c", open(c_file).read(), environment)
+    expected = json.loads(
+        json.dumps(protocol.program_payload(reference, expected_id), default=str)
+    )
+    # Timings differ run to run; the type content must not.
+    payload.pop("stats"), expected.pop("stats")
+    assert payload == expected
+
+
+def test_analyze_single_procedure_json(c_file, reference):
+    result = run_cli("analyze", c_file, "--json", "--procedure", "total")
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["signature"] == reference.signature("total")
+    assert set(payload["structs"]) == set(reference.procedure_structs("total"))
+
+
+def test_analyze_stdin_with_kind(reference):
+    result = run_cli("analyze", "-", "--kind", "c", stdin=SOURCE)
+    assert result.returncode == 0, result.stderr
+    assert reference.signature("twice") in result.stdout
+
+
+def test_analyze_unknown_procedure_fails(c_file):
+    result = run_cli("analyze", c_file, "--procedure", "nope")
+    assert result.returncode == 1
+    assert "no procedure" in result.stderr
+
+
+def test_analyze_broken_source_fails(tmp_path=None):
+    result = run_cli("analyze", "-", "--kind", "c", stdin="int broken(")
+    assert result.returncode == 1
+    assert "failed" in result.stderr

@@ -1,0 +1,55 @@
+"""Program registry: content addressing, LRU bounds, thread safety."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.server.registry import ProgramRegistry
+
+
+def test_make_id_depends_on_all_inputs():
+    base = ProgramRegistry.make_id("asm", "mov eax, 1", "env")
+    assert base == ProgramRegistry.make_id("asm", "mov eax, 1", "env")
+    assert base != ProgramRegistry.make_id("c", "mov eax, 1", "env")
+    assert base != ProgramRegistry.make_id("asm", "mov eax, 2", "env")
+    assert base != ProgramRegistry.make_id("asm", "mov eax, 1", "other-env")
+    # The separator keeps (kind+source) splits from colliding.
+    assert ProgramRegistry.make_id("a", "bc") != ProgramRegistry.make_id("ab", "c")
+
+
+def test_get_admit_and_stats():
+    registry = ProgramRegistry(capacity=4)
+    assert registry.get("missing") is None
+    registry.admit("k1", "types-1")
+    assert registry.get("k1") == "types-1"
+    assert "k1" in registry and len(registry) == 1
+    snapshot = registry.snapshot()
+    assert snapshot["hits"] == 1 and snapshot["misses"] == 1
+    assert 0 < snapshot["hit_rate"] < 1
+
+
+def test_lru_eviction_order():
+    registry = ProgramRegistry(capacity=2)
+    registry.admit("a", 1)
+    registry.admit("b", 2)
+    registry.get("a")  # refresh a; b is now least recent
+    registry.admit("c", 3)
+    assert registry.get("b") is None
+    assert registry.get("a") == 1 and registry.get("c") == 3
+    assert registry.evictions == 1
+
+
+def test_concurrent_admits_and_gets_are_safe():
+    registry = ProgramRegistry(capacity=64)
+
+    def worker(base: int) -> int:
+        found = 0
+        for i in range(200):
+            key = f"k{(base * 7 + i) % 100}"
+            registry.admit(key, key)
+            if registry.get(key) is not None:
+                found += 1
+        return found
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(worker, range(8)))
+    assert all(count > 0 for count in results)
+    assert len(registry) <= 64

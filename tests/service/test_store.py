@@ -1,6 +1,7 @@
 """Summary store: serialization round trips, LRU eviction, disk persistence."""
 
 import json
+import os
 
 import pytest
 
@@ -189,3 +190,120 @@ def test_procedure_fingerprint_tracks_content():
 
     total.instructions.append(Nop())
     assert procedure_fingerprint(total) != before
+
+
+# ---------------------------------------------------------------------------
+# Disk-tier hardening: atomic writes, quarantine, shared directories
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_disk_entry_is_quarantined_not_raised(tmp_path, analyzed):
+    lattice = analyzed.display.lattice
+    summary = _summary_for(analyzed, "total")
+    store = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    store.put("goodkey", summary)
+    path = store._disk_path("goodkey")
+
+    # Truncate the entry mid-payload, as a killed writer without atomic
+    # replace would have.
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"format": "retypd-summary-v1", "members": ["tot')
+
+    fresh = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    assert fresh.get("goodkey", lattice) is None  # tolerated, not raised
+    assert fresh.stats.quarantined == 1
+    assert fresh.stats.misses == 1
+    assert not os.path.exists(path), "corrupt entry must be moved aside"
+    assert os.path.exists(path + ".corrupt"), "quarantined copy kept for forensics"
+
+    # The key is writable again and round-trips.
+    fresh.put("goodkey", summary)
+    fresh.clear()
+    assert fresh.get("goodkey", lattice) is not None
+
+
+def test_wrong_format_disk_entry_is_quarantined(tmp_path, analyzed):
+    lattice = analyzed.display.lattice
+    store = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    path = store._disk_path("alienkey")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"format": "some-other-tool-v9", "members": []}, handle)
+    assert store.get("alienkey", lattice) is None
+    assert store.stats.quarantined == 1
+    assert os.path.exists(path + ".corrupt")
+
+
+def test_non_object_disk_entry_is_quarantined(tmp_path, analyzed):
+    lattice = analyzed.display.lattice
+    store = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    path = store._disk_path("listkey")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("[1, 2, 3]")
+    assert store.get("listkey", lattice) is None
+    assert store.stats.quarantined == 1
+
+
+def test_disk_writes_leave_no_temp_droppings(tmp_path, analyzed):
+    store = SummaryStore(capacity=8, cache_dir=str(tmp_path))
+    summary = _summary_for(analyzed, "total")
+    for i in range(5):
+        store.put(f"key{i}", summary)
+    leftovers = [
+        name
+        for root, _, names in os.walk(str(tmp_path))
+        for name in names
+        if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
+def test_two_stores_sharing_one_disk_dir_do_not_corrupt(tmp_path, analyzed):
+    """Satellite criterion: concurrent writers against one directory are safe."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    lattice = analyzed.display.lattice
+    summary = _summary_for(analyzed, "total")
+    first = SummaryStore(capacity=64, cache_dir=str(tmp_path))
+    second = SummaryStore(capacity=64, cache_dir=str(tmp_path))
+    keys = [f"shared{i}" for i in range(24)]
+
+    def hammer(store):
+        ok = 0
+        for _ in range(3):
+            for key in keys:
+                store.put(key, summary)
+                if store.get(key, lattice) is not None:
+                    ok += 1
+        return ok
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(hammer, [first, second, first, second]))
+    assert all(count == 3 * len(keys) for count in results)
+
+    # A third store sees every entry intact -- nothing truncated, nothing
+    # quarantined.
+    reader = SummaryStore(capacity=64, cache_dir=str(tmp_path))
+    for key in keys:
+        loaded = reader.get(key, lattice)
+        assert loaded is not None
+        assert str(loaded.procedures["total"].scheme) == str(
+            summary.procedures["total"].scheme
+        )
+    assert reader.stats.quarantined == 0
+
+
+def test_shared_disk_dir_across_services(tmp_path, analyzed):
+    """Two AnalysisServices pointed at one store dir reuse each other's work."""
+    from repro.service import AnalysisService, ServiceConfig
+
+    source = compile_c(ALLOCATOR).program
+    first = AnalysisService(ServiceConfig(cache_dir=str(tmp_path)))
+    cold = first.analyze(source)
+    assert cold.stats["sccs_solved"] > 0
+
+    second = AnalysisService(ServiceConfig(cache_dir=str(tmp_path)))
+    warm = second.analyze(compile_c(ALLOCATOR).program)
+    assert warm.stats["sccs_solved"] == 0, "all SCCs served from the shared disk tier"
+    assert warm.report() == cold.report()
