@@ -6,9 +6,11 @@ port is given, then walks the whole verb surface:
 1. ``analyze`` -- submit a mini-C program, get a content-addressed program id;
 2. ``query`` -- fetch one procedure's signature, type scheme and struct
    layout, and check them against an in-process ``analyze_program`` run;
-3. ``session.open`` / ``session.edit`` -- edit one function and watch the
+3. ``stats`` with a program id -- the per-stage solver timings (graph build,
+   saturation, simplification queries, sketches) of that analysis;
+4. ``session.open`` / ``session.edit`` -- edit one function and watch the
    server re-solve only the invalidation cone;
-4. ``corpus`` -- submit two related programs in one batch and observe shared
+5. ``corpus`` -- submit two related programs in one batch and observe shared
    summary-store hits.
 
 Run against an external server (exits non-zero on any mismatch, so CI can use
@@ -131,7 +133,25 @@ def main() -> int:
             print("MISMATCH: remote scheme differs from in-process result")
             failures += 1
 
-        # -- 3. incremental session -----------------------------------------
+        # -- 3. per-program stage timings ------------------------------------
+        # (asked before the corpus step below re-admits this program id with a
+        # fully cache-served -- and therefore all-zero -- timing record)
+        print("\n=== stats: where did the solver spend its time? ===")
+        timing = client.stats(program_id)
+        stage = timing["stage_seconds"]
+        for stage_name in ("graph", "saturate", "simplify", "sketch"):
+            print(f"  {stage_name:<9} {stage[f'{stage_name}_seconds'] * 1000:8.2f} ms")
+        print(
+            f"  total     {stage['total_seconds'] * 1000:8.2f} ms over "
+            f"{stage['sccs_timed']} SCCs "
+            f"({stage['saturation_edges']} saturation edges, "
+            f"{stage['graph_edges']} graph edges)"
+        )
+        if stage["sccs_timed"] == 0:
+            print("MISMATCH: a cold analysis must have timed at least one SCC solve")
+            failures += 1
+
+        # -- 4. incremental session -----------------------------------------
         print("\n=== session: edit one function, re-solve only its cone ===")
         opened = client.session_open(DRIVER, kind="c")
         session_id = opened["session_id"]
@@ -145,7 +165,7 @@ def main() -> int:
             failures += 1
         client.session_close(session_id)
 
-        # -- 4. corpus batch -------------------------------------------------
+        # -- 5. corpus batch -------------------------------------------------
         print("\n=== corpus: two programs, one shared summary store ===")
         batch = client.corpus(
             {

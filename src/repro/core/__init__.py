@@ -42,7 +42,7 @@ from .lattice import BOTTOM, TOP, TypeLattice, default_lattice
 from .deduction import DeductionEngine, entails
 from .graph import ConstraintGraph, Edge, EdgeKind, Node
 from .saturation import saturate, saturated
-from .simplify import derive_constant_bounds, proves, simplify_constraints
+from .simplify import derive_constant_bounds, derives, proves, simplify_constraints
 from .sketches import Sketch, SketchNode, top_sketch
 from .shapes import ShapeInference, infer_shapes
 from .schemes import TypeScheme, monomorphic_scheme
@@ -50,6 +50,7 @@ from .solver import (
     Callsite,
     ProcedureResult,
     ProcedureTypingInput,
+    SolveStats,
     Solver,
     SolverConfig,
     scheme_from_shapes,
@@ -107,6 +108,7 @@ __all__ = [
     "STORE",
     "Sketch",
     "SketchNode",
+    "SolveStats",
     "ShapeInference",
     "Solver",
     "SolverConfig",
@@ -127,6 +129,7 @@ __all__ = [
     "VoidType",
     "default_lattice",
     "derive_constant_bounds",
+    "derives",
     "entails",
     "field",
     "fresh_var",

@@ -18,6 +18,13 @@ needed to read a subtype judgement off a path lives in :mod:`repro.core.simplify
 The saturation algorithm of Appendix D.3 (:mod:`repro.core.saturation`) adds
 shortcut edges so every derivable judgement is witnessed by a path whose
 forgets all precede its recalls.
+
+The representation is *indexed and mutation-aware*: adjacency is maintained
+per edge kind (null / forget / recall) and recall successors per label, so the
+worklist saturation and the memoized path traversal get their hot queries --
+``null_out_edges``, ``recall_targets``, ``has_edge`` -- as dict hits instead
+of list scans.  ``add_edge`` keeps every index coherent, which is what lets
+saturation propagate along an edge the moment it is created.
 """
 
 from __future__ import annotations
@@ -37,6 +44,12 @@ class Node:
 
     dtv: DerivedTypeVariable
     variance: Variance
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.dtv, self.variance)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         tag = "+" if self.variance is Variance.COVARIANT else "-"
@@ -83,7 +96,17 @@ class ConstraintGraph:
         self.nodes: Set[Node] = set()
         self._out: Dict[Node, List[Edge]] = {}
         self._in: Dict[Node, List[Edge]] = {}
-        self._edge_set: Set[Edge] = set()
+        # insertion-ordered edge "set": deterministic iteration without the
+        # former sort-by-str on every edges() call.
+        self._edge_set: Dict[Edge, None] = {}
+        # per-kind adjacency indexes, maintained by add_edge:
+        self._out_null: Dict[Node, List[Edge]] = {}
+        #: recall successors by label: node -> {label -> [target node, ...]}
+        self._recall_by_label: Dict[Node, Dict[Label, List[Node]]] = {}
+        #: all forget edges in insertion order (saturation seeds from these).
+        self._forget_edges: List[Edge] = []
+        #: source -> target -> edges between the pair (O(1) has_edge).
+        self._pair: Dict[Node, Dict[Node, List[Edge]]] = {}
 
         dtvs = set(constraints.derived_type_variables())
         for dtv in extra_dtvs:
@@ -129,28 +152,60 @@ class ConstraintGraph:
             self.nodes.add(node)
             self._out[node] = []
             self._in[node] = []
+            self._out_null[node] = []
 
     def add_edge(self, edge: Edge) -> bool:
-        """Add an edge; returns True if it was not already present."""
+        """Add an edge, updating every index; returns True if it was new."""
         if edge in self._edge_set:
             return False
         self._ensure_node(edge.source)
         self._ensure_node(edge.target)
-        self._edge_set.add(edge)
+        self._edge_set[edge] = None
         self._out[edge.source].append(edge)
         self._in[edge.target].append(edge)
+        kind = edge.kind
+        if kind is EdgeKind.ORIGINAL or kind is EdgeKind.SATURATION:
+            self._out_null[edge.source].append(edge)
+        elif kind is EdgeKind.FORGET:
+            self._forget_edges.append(edge)
+        else:  # RECALL
+            by_label = self._recall_by_label.setdefault(edge.source, {})
+            by_label.setdefault(edge.label, []).append(edge.target)
+        self._pair.setdefault(edge.source, {}).setdefault(edge.target, []).append(edge)
         return True
 
     # -- queries ----------------------------------------------------------------------
 
     def out_edges(self, node: Node) -> List[Edge]:
-        return list(self._out.get(node, ()))
+        """All out-edges of ``node``.
+
+        The returned list is the live index -- do not mutate it; snapshot it
+        (``list(...)``) before iterating if you will add edges meanwhile.
+        """
+        return self._out.get(node, _EMPTY_EDGES)
 
     def in_edges(self, node: Node) -> List[Edge]:
-        return list(self._in.get(node, ()))
+        """All in-edges of ``node`` (live index; treat as read-only)."""
+        return self._in.get(node, _EMPTY_EDGES)
+
+    def null_out_edges(self, node: Node) -> List[Edge]:
+        """Out-edges that leave the pending stack alone (original + saturation)."""
+        return self._out_null.get(node, _EMPTY_EDGES)
+
+    def forget_edges(self) -> List[Edge]:
+        """Every forget edge in the graph (live index; treat as read-only)."""
+        return self._forget_edges
+
+    def recall_targets(self, node: Node, label: Label) -> List[Node]:
+        """Targets of ``node --recall label-->`` edges (O(1) dict hits)."""
+        by_label = self._recall_by_label.get(node)
+        if by_label is None:
+            return _EMPTY_NODES
+        return by_label.get(label, _EMPTY_NODES)
 
     def edges(self) -> Iterator[Edge]:
-        return iter(sorted(self._edge_set, key=str))
+        """All edges in deterministic (insertion) order."""
+        return iter(self._edge_set)
 
     def has_edge(
         self,
@@ -159,9 +214,12 @@ class ConstraintGraph:
         kind: Optional[EdgeKind] = None,
         label: Optional[Label] = None,
     ) -> bool:
-        for edge in self._out.get(source, ()):
-            if edge.target != target:
-                continue
+        between = self._pair.get(source, _EMPTY_DICT).get(target)
+        if not between:
+            return False
+        if kind is None and label is None:
+            return True
+        for edge in between:
             if kind is not None and edge.kind != kind:
                 continue
             if label is not None and edge.label != label:
@@ -180,7 +238,7 @@ class ConstraintGraph:
         index = {node: i for i, node in enumerate(sorted(self.nodes, key=str))}
         for node, i in index.items():
             lines.append(f'  n{i} [label="{node}"];')
-        for edge in self.edges():
+        for edge in sorted(self._edge_set, key=str):
             style = "dashed" if edge.kind is EdgeKind.SATURATION else "solid"
             label = edge.kind.value if edge.label is None else f"{edge.kind.value} {edge.label}"
             lines.append(
@@ -189,3 +247,8 @@ class ConstraintGraph:
             )
         lines.append("}")
         return "\n".join(lines)
+
+
+_EMPTY_EDGES: List[Edge] = []
+_EMPTY_NODES: List[Node] = []
+_EMPTY_DICT: Dict = {}

@@ -66,6 +66,21 @@ class Label:
         raise NotImplementedError
 
 
+def _check_location(location: str) -> None:
+    """Reject locations whose textual form cannot round-trip.
+
+    A ``.`` would be split into bogus extra labels by :func:`repro.core.
+    variables.parse_dtv`, and empty/whitespace-bearing locations fail the
+    label grammar entirely -- found by the parse/str round-trip property test.
+    """
+    if not isinstance(location, str) or not location:
+        raise ValueError(f"label location must be a non-empty string: {location!r}")
+    if "." in location or any(ch.isspace() for ch in location):
+        raise ValueError(
+            f"label location may not contain dots or whitespace: {location!r}"
+        )
+
+
 @dataclass(frozen=True, order=True)
 class InLabel(Label):
     """``.in_L`` -- the type of the function input at location ``L``.
@@ -75,6 +90,9 @@ class InLabel(Label):
     """
 
     location: str
+
+    def __post_init__(self) -> None:
+        _check_location(self.location)
 
     @property
     def variance(self) -> Variance:
@@ -89,6 +107,9 @@ class OutLabel(Label):
     """``.out_L`` -- the type of the function output at location ``L``."""
 
     location: str = "eax"
+
+    def __post_init__(self) -> None:
+        _check_location(self.location)
 
     @property
     def variance(self) -> Variance:
@@ -128,6 +149,14 @@ class FieldLabel(Label):
 
     size_bits: int
     offset: int
+
+    def __post_init__(self) -> None:
+        # ``sigma-8@0`` would not re-parse (sizes are unsigned in the grammar);
+        # offsets may be negative (pre-frame stack slots).
+        if not isinstance(self.size_bits, int) or self.size_bits < 0:
+            raise ValueError(f"field size must be a non-negative int: {self.size_bits!r}")
+        if not isinstance(self.offset, int):
+            raise ValueError(f"field offset must be an int: {self.offset!r}")
 
     @property
     def variance(self) -> Variance:

@@ -1,4 +1,4 @@
-"""The saturation algorithm (Algorithm D.2) with the lazy S-POINTER rule.
+"""The saturation algorithm (Algorithm D.2) as a worklist fixpoint.
 
 Saturation adds shortcut "null" edges to the constraint graph so that every
 derivable subtype judgement is witnessed by a *reduced* path: one whose forget
@@ -17,79 +17,99 @@ Rules (cf. Algorithm D.2):
   ``.store`` may be replaced by a pending ``.load`` on the covariant twin
   ``(d, +)`` and vice versa.  This simulates the infinitely many
   ``d.store <= d.load`` axioms without instantiating them.
+
+Unlike the original Gauss-Seidel formulation (which re-scanned every node and
+edge until a whole round ran without change -- retained verbatim as the test
+oracle in ``tests/core/naive_reference.py``), the fixpoint here is driven by a
+worklist of *newly derived facts*.  Work is proportional to facts derived:
+
+* the worklist holds ``(node, (label, origin))`` pairs, each fact enqueued at
+  each node exactly once (set-membership guarded);
+* popping a fact propagates it along the node's current null out-edges,
+  discharges it against the node's recall edges (an O(1)
+  :meth:`~repro.core.graph.ConstraintGraph.recall_targets` index hit), and
+  applies the lazy S-POINTER swap if the node is contravariant;
+* when a discharge creates a *new* shortcut edge, every fact already reaching
+  its origin is propagated across the just-dirtied edge immediately; facts
+  arriving at the origin later flow across it through the (mutation-aware)
+  null-adjacency index.
+
+Invariant: whenever the worklist is empty, ``R`` is closed under all four
+rules -- facts only enter ``R`` through ``_push`` which enqueues them, and
+every rule application for a fact happens when that fact is popped (edges
+created later are covered by the dirtied-edge replay above).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Set, Tuple
 
 from .graph import ConstraintGraph, Edge, EdgeKind, Node
 from .labels import LOAD, STORE, Label, Variance
 
+#: a reaching-forget fact: (pending label, node the pending path started at).
+Fact = Tuple[Label, Node]
 
-def saturate(graph: ConstraintGraph, max_iterations: int = 10_000) -> int:
-    """Saturate ``graph`` in place; returns the number of shortcut edges added."""
-    reaching: Dict[Node, Set[Tuple[Label, Node]]] = {node: set() for node in graph.nodes}
+
+def saturate(graph: ConstraintGraph, max_iterations: int = 10_000_000) -> int:
+    """Saturate ``graph`` in place; returns the number of shortcut edges added.
+
+    ``max_iterations`` bounds worklist pops as a defensive guard only; the
+    fixpoint always terminates because facts are drawn from the finite set
+    ``labels x nodes`` and each is enqueued at each node at most once.
+    """
+    reaching: Dict[Node, Set[Fact]] = {}
+    pending: Deque[Tuple[Node, Fact]] = deque()
+
+    def _push(node: Node, fact: Fact) -> None:
+        facts = reaching.get(node)
+        if facts is None:
+            facts = set()
+            reaching[node] = facts
+        if fact not in facts:
+            facts.add(fact)
+            pending.append((node, fact))
 
     # Seed from forget edges.
-    for edge in list(graph.edges()):
-        if edge.kind is EdgeKind.FORGET and edge.label is not None:
-            reaching[edge.target].add((edge.label, edge.source))
+    for edge in graph.forget_edges():
+        _push(edge.target, (edge.label, edge.source))
 
     added = 0
-    changed = True
     iterations = 0
-    while changed:
+    while pending:
         iterations += 1
         if iterations > max_iterations:  # pragma: no cover - defensive guard
             raise RuntimeError("saturation did not converge")
-        changed = False
+        node, fact = pending.popleft()
+        label, origin = fact
 
-        # Propagate reaching-forget sets along null edges.
-        for node in graph.nodes:
-            for edge in graph.out_edges(node):
-                if not edge.is_null:
-                    continue
-                target_set = reaching.setdefault(edge.target, set())
-                source_set = reaching.setdefault(node, set())
-                before = len(target_set)
-                target_set |= source_set
-                if len(target_set) != before:
-                    changed = True
+        # Propagate the new fact along null out-edges.
+        for edge in graph.null_out_edges(node):
+            _push(edge.target, fact)
 
-        # Lazy S-POINTER: swap pending store/load between the contravariant node
-        # and its covariant twin.
-        for node in list(graph.nodes):
-            if node.variance is not Variance.CONTRAVARIANT:
-                continue
-            twin = Node(node.dtv, Variance.COVARIANT)
-            twin_set = reaching.setdefault(twin, set())
-            for label, origin in list(reaching.get(node, ())):
-                swapped = None
-                if label == STORE:
-                    swapped = LOAD
-                elif label == LOAD:
-                    swapped = STORE
-                if swapped is None:
-                    continue
-                entry = (swapped, origin)
-                if entry not in twin_set:
-                    twin_set.add(entry)
-                    changed = True
+        # Discharge at matching recall edges by adding shortcut edges.
+        for target in graph.recall_targets(node, label):
+            if graph.add_edge(Edge(origin, target, EdgeKind.SATURATION)):
+                added += 1
+                # The new edge dirties origin -> target: replay every fact
+                # already reaching the origin across it.
+                existing = reaching.get(origin)
+                if existing:
+                    for known in list(existing):
+                        _push(target, known)
 
-        # Discharge pending forgets at recall edges by adding shortcut edges.
-        for node in list(graph.nodes):
-            for edge in graph.out_edges(node):
-                if edge.kind is not EdgeKind.RECALL or edge.label is None:
-                    continue
-                for label, origin in list(reaching.get(node, ())):
-                    if label != edge.label:
-                        continue
-                    new_edge = Edge(origin, edge.target, EdgeKind.SATURATION)
-                    if graph.add_edge(new_edge):
-                        reaching.setdefault(edge.target, set())
-                        added += 1
-                        changed = True
+        # Lazy S-POINTER: swap pending store/load between the contravariant
+        # node and its covariant twin.
+        if node.variance is Variance.CONTRAVARIANT:
+            swapped = None
+            if label == STORE:
+                swapped = LOAD
+            elif label == LOAD:
+                swapped = STORE
+            if swapped is not None:
+                _push(Node(node.dtv, Variance.COVARIANT), (swapped, origin))
+
     return added
 
 

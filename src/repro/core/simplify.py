@@ -10,14 +10,29 @@ path through the constraint graph.  Walking a path while tracking
 
 lets us read the judgement off the endpoints: the left-hand side is
 ``source.alpha``, the right-hand side is ``end.reverse(beta)``, and the
-orientation flips when ``alpha`` is contravariant (see DESIGN.md section 5 for
-the invariant).
+orientation flips when ``alpha`` is contravariant (see DESIGN.md section on
+path simplification for the invariant).
 
-``simplify_constraints`` enumerates elementary paths -- paths whose interior
-nodes mention only *uninteresting* variables (Definition D.1) -- between
-interesting variables and returns the resulting constraint set.  This is the
-constraint simplification used to build procedure type schemes: it eliminates
-procedure-local temporaries while preserving every interesting consequence.
+``simplify_constraints`` enumerates the judgements witnessed by paths between
+interesting variables whose interior nodes mention only *uninteresting*
+variables (Definition D.1) and returns the resulting constraint set.  This is
+the constraint simplification used to build procedure type schemes: it
+eliminates procedure-local temporaries while preserving every interesting
+consequence.
+
+The traversal is a *memoized state search* shared across all interesting
+sources.  The exploration state is ``(node, len(alpha), beta)``: completions
+from a state depend only on the node, the pending stack and how much label
+budget alpha has left -- never on alpha's content or on which source got
+there.  The forward pass therefore discovers each interior state once (where
+the old per-source recursive DFS re-walked shared interior subpaths for every
+source and carried a global path budget that silently truncated results on
+large graphs); a reverse fixpoint then propagates terminal judgements back to
+the sources.  The state search also witnesses judgements the old elementary
+enumeration missed: paths that revisit a node with a *different* pending
+stack (recursive structures deriving e.g. ``list.load.next.load.next <= t``)
+are valid derivations and are now enumerated up to the depth bound, matching
+the deduction rules of Figure 3.
 
 ``derive_constant_bounds`` performs the Appendix D.4 queries: which derived
 type variables are bounded above/below by which type constants.  The solver
@@ -26,8 +41,18 @@ uses it to decorate sketch nodes with lattice elements.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .constraints import ConstraintSet, SubtypeConstraint
 from .graph import ConstraintGraph, Edge, EdgeKind, Node
@@ -39,6 +64,13 @@ from .variables import DerivedTypeVariable
 
 @dataclass(frozen=True)
 class _PathState:
+    """One point of a walk: current node, labels appended to the source
+    (``alpha``) and the pending stack of forgotten labels (``beta``).
+
+    Retained for the single-step semantics (:func:`_step`) shared with the
+    reference implementation kept in ``tests/``.
+    """
+
     node: Node
     alpha: Tuple[Label, ...]
     beta: Tuple[Label, ...]
@@ -74,62 +106,197 @@ def _constraint_from_state(
     return constraint
 
 
+#: an exploration state: (node, labels appended to the source so far, pending stack).
+_StateKey = Tuple[Node, int, Tuple[Label, ...]]
+#: a completed judgement relative to a state: (end node, alpha suffix appended
+#: at or after the state, final pending stack).
+_Completion = Tuple[Node, Tuple[Label, ...], Tuple[Label, ...]]
+
+
 def simplify_constraints(
     constraints: ConstraintSet,
     interesting: Iterable[str],
     graph: Optional[ConstraintGraph] = None,
     max_label_depth: int = 6,
-    max_paths: int = 200_000,
+    max_paths: Optional[int] = None,
 ) -> ConstraintSet:
     """Compute a simplification of ``constraints`` relative to ``interesting`` bases.
 
     Every *interesting* consequence of ``constraints`` (Definition 5.1) whose
     derivation stays within the label-depth bound is entailed by the returned
     constraint set.  Interior variables (temporaries) are eliminated.
+
+    ``max_paths`` is accepted for backward compatibility and ignored: the
+    memoized traversal visits each ``(node, alpha-depth, beta-stack)`` state
+    once, so it needs no path budget and never truncates.
     """
     interesting_bases = set(interesting)
     if graph is None:
         graph = ConstraintGraph(constraints)
         saturate(graph)
 
-    output = ConstraintSet()
-    start_nodes = [
-        node
-        for node in sorted(graph.nodes, key=str)
-        if node.dtv.base in interesting_bases
-    ]
+    sources = [node for node in graph.nodes if node.dtv.base in interesting_bases]
 
-    budget = [max_paths]
+    # -- forward pass: discover the shared state graph --------------------------
+    #
+    # States reached at interesting nodes become terminal *completions* of the
+    # state they were stepped from (elementary proofs stop at interesting
+    # variables); only uninteresting states are expanded.  Source states are
+    # expanded too -- walks begin there -- without stopping terminal arrivals
+    # from also being recorded at them.
+    seen: Set[_StateKey] = set()
+    frontier: Deque[_StateKey] = deque()
+    #: state -> {(predecessor state, label appended on that transition)}
+    preds: Dict[_StateKey, Set[Tuple[_StateKey, Optional[Label]]]] = {}
+    #: state -> completions contributed by its direct terminal transitions
+    comp: Dict[_StateKey, Set[_Completion]] = {}
+    propagate: Deque[Tuple[_StateKey, _Completion]] = deque()
 
-    def explore(source: Node, state: _PathState, visited: Set[Node]) -> None:
-        if budget[0] <= 0:
-            return
-        for edge in graph.out_edges(state.node):
-            next_state = _step(state, edge)
-            if next_state is None:
-                continue
-            if len(next_state.alpha) > max_label_depth:
-                continue
-            if len(next_state.beta) > max_label_depth:
-                continue
-            target = next_state.node
+    def _complete(key: _StateKey, completion: _Completion) -> None:
+        entries = comp.get(key)
+        if entries is None:
+            entries = set()
+            comp[key] = entries
+        if completion not in entries:
+            entries.add(completion)
+            propagate.append((key, completion))
+
+    initial_keys: List[Tuple[Node, _StateKey]] = []
+    for source in sources:
+        key: _StateKey = (source, 0, ())
+        initial_keys.append((source, key))
+        if key not in seen:
+            seen.add(key)
+            frontier.append(key)
+
+    while frontier:
+        key = frontier.popleft()
+        node, depth, beta = key
+        for edge in graph.out_edges(node):
+            kind = edge.kind
+            appended: Optional[Label] = None
+            if kind is EdgeKind.FORGET:
+                if len(beta) >= max_label_depth:
+                    continue
+                next_beta = beta + (edge.label,)
+                next_depth = depth
+            elif kind is EdgeKind.RECALL:
+                if beta:
+                    if beta[-1] != edge.label:
+                        continue
+                    next_beta = beta[:-1]
+                    next_depth = depth
+                else:
+                    if depth >= max_label_depth:
+                        continue
+                    next_beta = beta
+                    next_depth = depth + 1
+                    appended = edge.label
+            else:  # null edge
+                next_beta = beta
+                next_depth = depth
+            target = edge.target
             if target.dtv.base in interesting_bases:
-                budget[0] -= 1
-                constraint = _constraint_from_state(source, next_state)
-                if constraint is not None:
-                    output.add(constraint)
-                continue  # elementary proofs stop at interesting variables
-            if target in visited:
+                suffix = (appended,) if appended is not None else ()
+                _complete(key, (target, suffix, next_beta))
                 continue
-            visited.add(target)
-            explore(source, next_state, visited)
-            visited.discard(target)
+            next_key: _StateKey = (target, next_depth, next_beta)
+            preds.setdefault(next_key, set()).add((key, appended))
+            if next_key not in seen:
+                seen.add(next_key)
+                frontier.append(next_key)
 
-    for source in start_nodes:
-        initial = _PathState(source, (), ())
-        explore(source, initial, {source})
+    # -- reverse fixpoint: flow completions back towards the sources ------------
+    #
+    # A transition that appended label ``l`` turns a successor completion with
+    # alpha suffix ``w`` into one with suffix ``l.w``; depth bookkeeping in the
+    # forward pass guarantees the suffix never exceeds the label budget.
+    while propagate:
+        key, completion = propagate.popleft()
+        predecessors = preds.get(key)
+        if not predecessors:
+            continue
+        end, suffix, final_beta = completion
+        for pred_key, appended in predecessors:
+            if appended is None:
+                _complete(pred_key, completion)
+            else:
+                _complete(pred_key, (end, (appended,) + suffix, final_beta))
 
+    # -- read the judgements off at each source ---------------------------------
+    output = ConstraintSet()
+    for source, key in initial_keys:
+        for end, alpha, final_beta in comp.get(key, ()):
+            constraint = _constraint_from_state(
+                source, _PathState(end, alpha, final_beta)
+            )
+            if constraint is not None:
+                output.add(constraint)
     return output
+
+
+def derives(
+    graph: ConstraintGraph,
+    left: DerivedTypeVariable,
+    right: DerivedTypeVariable,
+    max_label_depth: int = 6,
+) -> bool:
+    """Does the *saturated* ``graph`` witness the judgement ``left <= right``?
+
+    A direct reachability query over ``(node, pending-stack)`` states: walk
+    from the node of ``left`` (covariantly) looking for a state that reads
+    back as ``right``, and dually from the node of ``right`` (contravariantly)
+    looking for ``left``.  Unlike membership in a simplified constraint set,
+    the query may pass *through* nodes of interesting variables, so judgements
+    like ``{a.load <= a, b <= a.load} |- b <= a`` -- where every witnessing
+    path crosses another judgement's endpoint -- are found (the latent
+    disagreement with the Figure 3 deduction rules recorded in ROADMAP.md).
+    """
+    if left == right:
+        return False
+    if _reaches(graph, Node(left, Variance.COVARIANT), right, max_label_depth):
+        return True
+    return _reaches(graph, Node(right, Variance.CONTRAVARIANT), left, max_label_depth)
+
+
+def _reaches(
+    graph: ConstraintGraph,
+    start: Node,
+    goal: DerivedTypeVariable,
+    max_label_depth: int,
+) -> bool:
+    """Is there a path from ``start`` to a state reading back as ``goal``?
+
+    Alpha never grows here: a judgement about ``start.dtv`` itself is wanted,
+    and recalls that would extend the source are simulated by the explicit
+    forget/recall pairs of the prefix nodes (the graph always contains them
+    for the goal endpoints).
+    """
+    if start not in graph.nodes:
+        return False
+    initial: Tuple[Node, Tuple[Label, ...]] = (start, ())
+    seen = {initial}
+    stack = [initial]
+    while stack:
+        node, beta = stack.pop()
+        if node.dtv.with_labels(tuple(reversed(beta))) == goal:
+            return True
+        for edge in graph.out_edges(node):
+            kind = edge.kind
+            if kind is EdgeKind.FORGET:
+                if len(beta) >= max_label_depth:
+                    continue
+                state = (edge.target, beta + (edge.label,))
+            elif kind is EdgeKind.RECALL:
+                if not beta or beta[-1] != edge.label:
+                    continue
+                state = (edge.target, beta[:-1])
+            else:
+                state = (edge.target, beta)
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+    return False
 
 
 def proves(
@@ -139,14 +306,12 @@ def proves(
 ) -> bool:
     """Does the pushdown machinery derive ``goal`` from ``constraints``?
 
-    Convenience wrapper used heavily in tests: simplification relative to the
-    two endpoint bases must contain the goal.
+    Builds the saturated constraint graph (with the goal's endpoints forced in)
+    and runs the :func:`derives` reachability query.
     """
-    bases = {goal.left.base, goal.right.base}
-    simplified = simplify_constraints(
-        constraints, bases, max_label_depth=max_label_depth
-    )
-    return goal in simplified.subtype
+    graph = ConstraintGraph(constraints, extra_dtvs=(goal.left, goal.right))
+    saturate(graph)
+    return derives(graph, goal.left, goal.right, max_label_depth)
 
 
 # ---------------------------------------------------------------------------

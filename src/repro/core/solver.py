@@ -39,6 +39,65 @@ from .sketches import Sketch
 from .variables import DerivedTypeVariable
 
 
+@dataclass
+class SolveStats:
+    """Per-stage timings and counters for one solve (or an aggregate of many).
+
+    The stages mirror the core algorithm: ``graph`` is constraint-graph
+    construction, ``saturate`` the worklist fixpoint of Algorithm D.2,
+    ``simplify`` the path queries over the saturated graph (the Appendix D.4
+    constant-bound derivation feeding lattice decorations), and ``sketch`` the
+    Steensgaard shape inference plus scheme/sketch serialization.  Instances
+    merge, so the service can aggregate per-SCC records into one program-level
+    record and the server can report where a live daemon spends its time.
+    """
+
+    graph_seconds: float = 0.0
+    saturate_seconds: float = 0.0
+    simplify_seconds: float = 0.0
+    sketch_seconds: float = 0.0
+    graph_nodes: int = 0
+    graph_edges: int = 0
+    saturation_edges: int = 0
+    constant_bounds: int = 0
+    sccs_timed: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.graph_seconds
+            + self.saturate_seconds
+            + self.simplify_seconds
+            + self.sketch_seconds
+        )
+
+    def merge(self, other: "SolveStats") -> None:
+        self.graph_seconds += other.graph_seconds
+        self.saturate_seconds += other.saturate_seconds
+        self.simplify_seconds += other.simplify_seconds
+        self.sketch_seconds += other.sketch_seconds
+        self.graph_nodes += other.graph_nodes
+        self.graph_edges += other.graph_edges
+        self.saturation_edges += other.saturation_edges
+        self.constant_bounds += other.constant_bounds
+        self.sccs_timed += other.sccs_timed
+
+    def to_json(self) -> Dict[str, float]:
+        """A flat JSON-able record (the shape served by the server's ``stats`` verb)."""
+        return {
+            "graph_seconds": self.graph_seconds,
+            "saturate_seconds": self.saturate_seconds,
+            "simplify_seconds": self.simplify_seconds,
+            "sketch_seconds": self.sketch_seconds,
+            "total_seconds": self.total_seconds,
+            "graph_nodes": self.graph_nodes,
+            "graph_edges": self.graph_edges,
+            "saturation_edges": self.saturation_edges,
+            "constant_bounds": self.constant_bounds,
+            "sccs_timed": self.sccs_timed,
+        }
+
+
 @dataclass(frozen=True)
 class Callsite:
     """One call instruction: the callee's name and the base variable used for it."""
@@ -109,6 +168,8 @@ class Solver:
         self.config = config or SolverConfig()
         #: statistics collected during the last solve (for the scaling figures)
         self.stats: Dict[str, float] = {}
+        #: per-stage timing record of the last :meth:`solve_program` run.
+        self.last_stage_stats: Optional[SolveStats] = None
 
     # -- public API ---------------------------------------------------------------------
 
@@ -120,9 +181,10 @@ class Solver:
         results: Dict[str, ProcedureResult] = {}
         constraint_count = 0
         scc_timings: List[Tuple[str, float]] = []
+        stage_stats = SolveStats()
         for scc in order:
             scc_start = time.perf_counter()
-            scc_results = self.solve_scc(scc, procedures, results)
+            scc_results = self.solve_scc(scc, procedures, results, stats=stage_stats)
             scc_timings.append((",".join(scc), time.perf_counter() - scc_start))
             results.update(scc_results)
             for name in scc:
@@ -131,6 +193,8 @@ class Solver:
         self.stats["procedures"] = len(procedures)
         self.stats["scc_count"] = len(order)
         self.stats["scc_seconds"] = scc_timings
+        self.stats["stage_seconds"] = stage_stats.to_json()
+        self.last_stage_stats = stage_stats
         if scc_timings:
             self.stats["max_scc_seconds"] = max(seconds for _, seconds in scc_timings)
         if self.config.refine_parameters:
@@ -159,13 +223,17 @@ class Solver:
         scc: Sequence[str],
         procedures: Mapping[str, ProcedureTypingInput],
         results: Mapping[str, ProcedureResult],
+        stats: Optional[SolveStats] = None,
     ) -> Dict[str, ProcedureResult]:
         """Solve one SCC of the call graph given the results of its callees.
 
         ``results`` must already contain a :class:`ProcedureResult` for every
         callee outside ``scc`` (bottom-up discipline); the returned mapping
         covers exactly the members of ``scc``.  This is the unit of work the
-        service layer schedules, caches and re-solves incrementally.
+        service layer schedules, caches and re-solves incrementally.  When
+        ``stats`` is given, per-stage timings and counters are accumulated
+        into it (callers aggregating across SCCs pass one shared record; the
+        service passes a fresh record per SCC so waves can run on threads).
         """
         scc_set = set(scc)
         combined = ConstraintSet()
@@ -177,8 +245,9 @@ class Solver:
                     self._callsite_constraints(callsite, scc_set, procedures, results)
                 )
 
-        shapes, graph = self._solve_constraints(combined)
+        shapes, graph = self._solve_constraints(combined, stats)
 
+        sketch_start = time.perf_counter()
         out: Dict[str, ProcedureResult] = {}
         for name in scc:
             proc = procedures[name]
@@ -202,6 +271,9 @@ class Solver:
                 formal_out_sketches=out_sketches,
                 shapes=shapes,
             )
+        if stats is not None:
+            stats.sketch_seconds += time.perf_counter() - sketch_start
+            stats.sccs_timed += 1
         return out
 
     _solve_scc = solve_scc
@@ -238,15 +310,31 @@ class Solver:
         return out
 
     def _solve_constraints(
-        self, constraints: ConstraintSet
+        self, constraints: ConstraintSet, stats: Optional[SolveStats] = None
     ) -> Tuple[ShapeInference, Optional[ConstraintGraph]]:
+        timer = time.perf_counter
+
+        start = timer()
         shapes = infer_shapes(constraints, self.lattice)
+        sketch_seconds = timer() - start
+
         graph: Optional[ConstraintGraph] = None
+        graph_seconds = saturate_seconds = simplify_seconds = 0.0
+        saturation_edges = bound_count = 0
         if self.config.precise_bounds:
+            start = timer()
             graph = ConstraintGraph(constraints)
-            saturate(graph)
+            graph_seconds = timer() - start
+
+            start = timer()
+            saturation_edges = saturate(graph)
+            saturate_seconds = timer() - start
+
+            start = timer()
             shapes.clear_bounds()
-            for dtv, kind, constant in derive_constant_bounds(graph, self.lattice):
+            bounds = derive_constant_bounds(graph, self.lattice)
+            bound_count = len(bounds)
+            for dtv, kind, constant in bounds:
                 cell = shapes.lookup(dtv)
                 if cell is None:
                     continue
@@ -254,6 +342,17 @@ class Solver:
                     shapes.apply_lower(cell, constant)
                 else:
                     shapes.apply_upper(cell, constant)
+            simplify_seconds = timer() - start
+        if stats is not None:
+            stats.sketch_seconds += sketch_seconds
+            stats.graph_seconds += graph_seconds
+            stats.saturate_seconds += saturate_seconds
+            stats.simplify_seconds += simplify_seconds
+            stats.saturation_edges += saturation_edges
+            stats.constant_bounds += bound_count
+            if graph is not None:
+                stats.graph_nodes += len(graph.nodes)
+                stats.graph_edges += len(graph)
         return shapes, graph
 
     # -- REFINEPARAMETERS (Algorithm F.3) ------------------------------------------------------

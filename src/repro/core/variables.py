@@ -5,11 +5,18 @@ type variable and ``w`` is a (possibly empty) word of field labels.  The base
 variable is represented by its name; type constants (elements of the auxiliary
 lattice Lambda) are also represented as base variables whose names the lattice
 recognizes.
+
+Derived type variables are the single most-hashed object in the solver: every
+constraint-graph node, reaching-forget fact, sketch key and summary entry keys
+off one.  Construction therefore interns instances (weakly, so long-lived
+daemons do not leak) and precomputes the hash once; ``str`` is cached lazily
+since display/serialization paths render the same variables repeatedly.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field as dc_field
 from typing import Iterator, Optional, Sequence, Tuple
 
@@ -24,6 +31,10 @@ def fresh_var(prefix: str = "v") -> "DerivedTypeVariable":
     return DerivedTypeVariable(f"${prefix}{next(_fresh_counter)}")
 
 
+#: weak intern table: (base, labels) -> the canonical live instance.
+_INTERNED: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
 @dataclass(frozen=True, order=True)
 class DerivedTypeVariable:
     """A base type variable together with a word of field labels.
@@ -35,6 +46,39 @@ class DerivedTypeVariable:
     base: str
     labels: Tuple[Label, ...] = dc_field(default_factory=tuple)
 
+    def __new__(cls, base: str = "", labels: Tuple[Label, ...] = ()):  # noqa: D102
+        # Interned construction: repeated builds of the same variable return
+        # the same object (weakly held).  Falls back to a fresh instance for
+        # anything unhashable/odd rather than failing.
+        if cls is DerivedTypeVariable and type(labels) is tuple:
+            try:
+                cached = _INTERNED.get((base, labels))
+            except Exception:  # unhashable labels, or a GC-callback race
+                cached = None
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
+
+    def __post_init__(self) -> None:
+        # Cache the hash: profiles show dict/set operations on derived type
+        # variables dominate saturation and simplification otherwise.
+        object.__setattr__(self, "_hash", hash((self.base, self.labels)))
+        if type(self) is DerivedTypeVariable and type(self.labels) is tuple:
+            try:
+                _INTERNED.setdefault((self.base, self.labels), self)
+            except Exception:  # interning is an optimization, never an error
+                pass
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:  # the common case once interning has warmed up
+            return True
+        if not isinstance(other, DerivedTypeVariable):
+            return NotImplemented
+        return self.base == other.base and self.labels == other.labels
+
     # -- construction helpers -------------------------------------------------
 
     def with_label(self, label: Label) -> "DerivedTypeVariable":
@@ -42,6 +86,8 @@ class DerivedTypeVariable:
         return DerivedTypeVariable(self.base, self.labels + (label,))
 
     def with_labels(self, labels: Sequence[Label]) -> "DerivedTypeVariable":
+        if not labels:
+            return self
         return DerivedTypeVariable(self.base, self.labels + tuple(labels))
 
     def with_base(self, base: str) -> "DerivedTypeVariable":
@@ -87,9 +133,14 @@ class DerivedTypeVariable:
     # -- display ---------------------------------------------------------------
 
     def __str__(self) -> str:
-        if not self.labels:
-            return self.base
-        return self.base + "." + ".".join(str(lab) for lab in self.labels)
+        cached = getattr(self, "_str", None)
+        if cached is None:
+            if not self.labels:
+                cached = self.base
+            else:
+                cached = self.base + "." + ".".join(str(lab) for lab in self.labels)
+            object.__setattr__(self, "_str", cached)
+        return cached
 
     def __repr__(self) -> str:
         return f"DTV({str(self)!r})"

@@ -170,6 +170,20 @@ class ProgramTypes:
     def __getitem__(self, name: str) -> FunctionTypes:
         return self.functions[name]
 
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage core solver timings for this analysis.
+
+        The :class:`~repro.core.solver.SolveStats` record (graph build,
+        saturation, simplification queries, sketch construction) aggregated by
+        the service over every SCC it actually solved; empty until a solve has
+        run, all-zero when the whole program was served from the summary
+        cache.  The server's ``stats`` verb returns this same record for a
+        ``program_id``.
+        """
+        stage = self.stats.get("stage_seconds", {})
+        return dict(stage) if isinstance(stage, dict) else {}
+
     def signature(self, name: str) -> str:
         return self.functions[name].signature()
 

@@ -356,6 +356,19 @@ class TypeQueryServer:
         }
 
     async def _op_stats(self, params: Dict[str, object]) -> Dict[str, object]:
+        # With a program_id: per-stage solver timings for that analyzed
+        # program (graph build / saturate / simplify / sketch), so operators
+        # can see where a live daemon's time goes.  Without: daemon counters.
+        if params.get("program_id") is not None:
+            program_id = protocol.require_str(params, "program_id")
+            types = self.registry.get(program_id)
+            if types is None:
+                raise ProtocolError(
+                    ErrorCode.UNKNOWN_PROGRAM,
+                    f"no analyzed program {program_id!r} (analyze it first; the "
+                    f"registry keeps the most recent {self.registry.capacity})",
+                )
+            return protocol.stats_payload(types, program_id)
         store = self.service.store
         return {
             "uptime_seconds": time.monotonic() - self._started,

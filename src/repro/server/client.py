@@ -68,8 +68,12 @@ class _VerbMixin:
     def ping(self):
         return self.request("ping")
 
-    def stats(self):
-        return self.request("stats")
+    def stats(self, program_id: Optional[str] = None):
+        """Daemon counters, or -- given a ``program_id`` -- the per-stage
+        solver timings (graph/saturate/simplify/sketch) of that analysis."""
+        if program_id is None:
+            return self.request("stats")
+        return self.request("stats", {"program_id": program_id})
 
     def analyze(self, source: str, kind: str = "asm", full: bool = False):
         return self.request(

@@ -218,6 +218,32 @@ def program_payload(types, program_id: Optional[str] = None) -> Dict[str, object
     return payload
 
 
+def stats_payload(types, program_id: str) -> Dict[str, object]:
+    """The per-program ``stats`` result: where the analysis spent its time.
+
+    ``stage_seconds`` is the :class:`~repro.core.solver.SolveStats` record the
+    core accumulated while solving this program's SCCs (graph build,
+    saturation, simplification queries, sketch construction), as plumbed
+    through the service layer; the surrounding fields put it in context
+    (constraint generation, end-to-end solve time, cache reuse).  For a fully
+    cache-served re-analysis every stage is 0.0 -- no core work ran.
+    """
+    stats = types.stats
+    stage = stats.get("stage_seconds", {})
+    return {
+        "program_id": program_id,
+        "procedures": sorted(types.functions),
+        "stage_seconds": dict(stage) if isinstance(stage, dict) else stage,
+        "constraint_generation_seconds": stats.get("constraint_generation_seconds"),
+        "solve_seconds": stats.get("solve_seconds"),
+        "total_seconds": stats.get("total_seconds"),
+        "sccs_solved": stats.get("sccs_solved"),
+        "sccs_cached": stats.get("sccs_cached"),
+        "constraints": stats.get("constraints"),
+        "instructions": stats.get("instructions"),
+    }
+
+
 def procedure_payload(types, program_id: str, procedure: str) -> Dict[str, object]:
     """The per-procedure ``query`` result: signature, scheme, sketches, layout."""
     from ..core.ctype import ctype_to_json

@@ -36,6 +36,7 @@ from ..core.solver import (
     ProcedureResult,
     ProcedureTypingInput,
     RefinementContribution,
+    SolveStats,
     Solver,
     SolverConfig,
     apply_refinement,
@@ -188,21 +189,26 @@ class AnalysisService:
                 contributions_of[name] = list(procedure.contributions)
 
         refine = self.config.solver.refine_parameters
+        stage_stats = SolveStats()
 
         def solve(scc: Sequence[str]):
-            scc_results = solver.solve_scc(scc, inputs, working)
+            # A fresh per-SCC stats record: SCCs of one wave may solve on
+            # threads concurrently, so they must not mutate a shared record.
+            scc_stats = SolveStats()
+            scc_results = solver.solve_scc(scc, inputs, working, stats=scc_stats)
             if not refine:
-                return scc_results, {}
+                return scc_results, {}, scc_stats
             # Same-SCC callees shadow, earlier waves fall through; no copy.
             merged = ChainMap(scc_results, working)
             contributions = {
                 name: collect_caller_contributions(inputs[name], scc_results[name], merged)
                 for name in scc
             }
-            return scc_results, contributions
+            return scc_results, contributions, scc_stats
 
         def publish(wave_results):
-            for scc, (scc_results, contributions) in wave_results:
+            for scc, (scc_results, contributions, scc_stats) in wave_results:
+                stage_stats.merge(scc_stats)
                 working.update(scc_results)
                 for name in scc:
                     contributions_of[name] = list(contributions.get(name, ()))
@@ -244,6 +250,9 @@ class AnalysisService:
             "solved_procedures": sorted(solved),
             "cached_procedures": sorted(reused),
             "dag_wave_widths": [len(wave) for wave in waves],
+            # Per-stage core timings, aggregated over the SCCs actually solved
+            # this run (cache hits contribute nothing: no core work ran).
+            "stage_seconds": stage_stats.to_json(),
         }
         stats.update(schedule_stats.as_stats())
         if self.store is not None:

@@ -1,0 +1,147 @@
+"""Reference implementations retained from the pre-worklist core (the seed).
+
+These are the algorithms the worklist rewrite replaced, kept verbatim (modulo
+defensive ``list(...)`` snapshots around the now-live adjacency lists) as
+executable oracles:
+
+* :func:`naive_saturate` -- the original Gauss-Seidel saturation: re-scan
+  every node and edge until a whole round runs without change.  The worklist
+  saturation must add exactly the same shortcut edges
+  (``tests/core/test_worklist_equivalence.py`` property-tests this).
+* :func:`naive_simplify_constraints` -- the original per-source recursive DFS
+  over elementary paths with a global path budget.  The memoized state
+  traversal must derive a superset: everything the DFS found, plus judgements
+  the DFS's per-path node-visited set or budget truncation missed (each of
+  which must itself be derivable).
+
+They are also what the perf-smoke benchmark measures the new core against, so
+the "2x faster than the seed" gate compares both implementations on the same
+machine in the same process.
+"""
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.constraints import ConstraintSet
+from repro.core.graph import ConstraintGraph, Edge, EdgeKind, Node
+from repro.core.labels import LOAD, STORE, Label, Variance
+from repro.core.saturation import saturate
+from repro.core.simplify import _PathState, _constraint_from_state, _step
+
+
+def naive_saturate(graph: ConstraintGraph, max_iterations: int = 10_000) -> int:
+    """The seed's saturation: full re-scan Gauss-Seidel fixpoint."""
+    reaching: Dict[Node, Set[Tuple[Label, Node]]] = {node: set() for node in graph.nodes}
+
+    # Seed from forget edges.
+    for edge in list(graph.edges()):
+        if edge.kind is EdgeKind.FORGET and edge.label is not None:
+            reaching[edge.target].add((edge.label, edge.source))
+
+    added = 0
+    changed = True
+    iterations = 0
+    while changed:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - defensive guard
+            raise RuntimeError("saturation did not converge")
+        changed = False
+
+        # Propagate reaching-forget sets along null edges.
+        for node in list(graph.nodes):
+            for edge in list(graph.out_edges(node)):
+                if not edge.is_null:
+                    continue
+                target_set = reaching.setdefault(edge.target, set())
+                source_set = reaching.setdefault(node, set())
+                before = len(target_set)
+                target_set |= source_set
+                if len(target_set) != before:
+                    changed = True
+
+        # Lazy S-POINTER: swap pending store/load between the contravariant node
+        # and its covariant twin.
+        for node in list(graph.nodes):
+            if node.variance is not Variance.CONTRAVARIANT:
+                continue
+            twin = Node(node.dtv, Variance.COVARIANT)
+            twin_set = reaching.setdefault(twin, set())
+            for label, origin in list(reaching.get(node, ())):
+                swapped = None
+                if label == STORE:
+                    swapped = LOAD
+                elif label == LOAD:
+                    swapped = STORE
+                if swapped is None:
+                    continue
+                entry = (swapped, origin)
+                if entry not in twin_set:
+                    twin_set.add(entry)
+                    changed = True
+
+        # Discharge pending forgets at recall edges by adding shortcut edges.
+        for node in list(graph.nodes):
+            for edge in list(graph.out_edges(node)):
+                if edge.kind is not EdgeKind.RECALL or edge.label is None:
+                    continue
+                for label, origin in list(reaching.get(node, ())):
+                    if label != edge.label:
+                        continue
+                    new_edge = Edge(origin, edge.target, EdgeKind.SATURATION)
+                    if graph.add_edge(new_edge):
+                        reaching.setdefault(edge.target, set())
+                        added += 1
+                        changed = True
+    return added
+
+
+def naive_simplify_constraints(
+    constraints: ConstraintSet,
+    interesting: Iterable[str],
+    graph: Optional[ConstraintGraph] = None,
+    max_label_depth: int = 6,
+    max_paths: int = 200_000,
+) -> ConstraintSet:
+    """The seed's simplification: per-source recursive elementary-path DFS."""
+    interesting_bases = set(interesting)
+    if graph is None:
+        graph = ConstraintGraph(constraints)
+        saturate(graph)
+
+    output = ConstraintSet()
+    start_nodes = [
+        node
+        for node in sorted(graph.nodes, key=str)
+        if node.dtv.base in interesting_bases
+    ]
+
+    budget = [max_paths]
+
+    def explore(source: Node, state: _PathState, visited: Set[Node]) -> None:
+        if budget[0] <= 0:
+            return
+        for edge in list(graph.out_edges(state.node)):
+            next_state = _step(state, edge)
+            if next_state is None:
+                continue
+            if len(next_state.alpha) > max_label_depth:
+                continue
+            if len(next_state.beta) > max_label_depth:
+                continue
+            target = next_state.node
+            if target.dtv.base in interesting_bases:
+                budget[0] -= 1
+                constraint = _constraint_from_state(source, next_state)
+                if constraint is not None:
+                    output.add(constraint)
+                continue  # elementary proofs stop at interesting variables
+            if target in visited:
+                continue
+            visited.add(target)
+            explore(source, next_state, visited)
+            visited.discard(target)
+
+    for source in start_nodes:
+        initial = _PathState(source, (), ())
+        explore(source, initial, {source})
+
+    return output

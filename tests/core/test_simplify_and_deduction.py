@@ -151,3 +151,20 @@ def test_saturation_agrees_with_deduction_rules_on_base_judgements(lines, left, 
     goal = parse_constraint(f"{left} <= {right}")
     engine = DeductionEngine(constraints, max_depth=2)
     assert proves(constraints, goal) == engine.entails(goal)
+
+
+def test_base_judgement_through_interesting_interior_node():
+    """Deterministic regression for the hypothesis counterexample once in ROADMAP.md.
+
+    ``{a.load <= a, b <= a.load} |- b <= a`` by S-TRANS, but every witnessing
+    path runs *through* the node of ``a.load`` -- an endpoint-base node, which
+    the old membership-in-simplification query refused to cross, so ``proves``
+    disagreed with the Figure 3 deduction rules.  The direct ``derives``
+    reachability query must find it.
+    """
+    constraints = parse_constraints(["a.load <= a", "b <= a.load"])
+    goal = parse_constraint("b <= a")
+    assert DeductionEngine(constraints, max_depth=2).entails(goal)
+    assert proves(constraints, goal)
+    # The mirrored orientation stays underivable.
+    assert not proves(constraints, parse_constraint("a <= b"))

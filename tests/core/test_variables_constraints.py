@@ -13,6 +13,7 @@ from repro.core import (
     field,
     fresh_var,
     in_label,
+    out_label,
     parse_constraint,
     parse_constraints,
     parse_dtv,
@@ -140,3 +141,56 @@ def test_constraint_set_idempotent_union(pairs):
         cs.add_subtype(parse_dtv(left), parse_dtv(right))
     assert cs.union(cs) == cs
     assert len(cs) <= len(pairs)
+
+
+# -- parse/str round trip over the full label grammar ---------------------------------
+#
+# The narrow-pool property above never exercised unusual locations; widening it
+# falsified three label words the grammar could construct but not re-parse:
+# empty locations (``in_``), locations containing ``.`` (str() emits a word
+# that parse_dtv splits into bogus extra labels) and negative field sizes
+# (``sigma-8@0``).  Construction now rejects all three, so every constructible
+# label word round-trips.
+
+_locations = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_@$#-",
+    min_size=1,
+    max_size=8,
+)
+_any_label = st.one_of(
+    st.just(LoadLabel()),
+    st.just(StoreLabel()),
+    st.builds(in_label, _locations),
+    st.builds(out_label, _locations),
+    st.builds(
+        FieldLabel,
+        st.integers(min_value=0, max_value=512),
+        st.integers(min_value=-1024, max_value=1024),
+    ),
+)
+
+
+@given(_base_names, st.lists(_any_label, max_size=5))
+def test_dtv_roundtrip_over_arbitrary_constructible_labels(base, labels):
+    dtv = DerivedTypeVariable(base, tuple(labels))
+    assert parse_dtv(str(dtv)) == dtv
+
+
+def test_unroundtrippable_label_words_rejected_at_construction():
+    from repro.core.labels import InLabel, OutLabel
+
+    for bad_location in ("", "stack0.load", "a.b", "a b", "x\ty", " "):
+        with pytest.raises(ValueError):
+            InLabel(bad_location)
+        with pytest.raises(ValueError):
+            OutLabel(bad_location)
+    with pytest.raises(ValueError):
+        FieldLabel(-8, 0)
+
+
+def test_unparseable_label_text_still_rejected():
+    from repro.core import parse_label
+
+    for bad_text in ("in_", "out_", "sigma-8@0", "sigma32@", "bogus"):
+        with pytest.raises(ValueError):
+            parse_label(bad_text)

@@ -453,3 +453,46 @@ def test_stats_surface(server):
     assert stats["requests_served"] >= 1
     assert "registry" in stats and "store" in stats
     assert stats["sessions_open"] == 0
+
+
+def test_stats_per_program_stage_timings(server, suite):
+    """``stats`` with a program_id reports where the solver spent its time."""
+    workload = suite[-1]
+    host, port, _ = server
+    with TypeQueryClient(host, port) as client:
+        submitted = client.analyze(workload.source, kind="c")
+        stats = client.stats(submitted["program_id"])
+
+        assert stats["program_id"] == submitted["program_id"]
+        assert stats["procedures"] == submitted["procedures"]
+        stage = stats["stage_seconds"]
+        for name in ("graph", "saturate", "simplify", "sketch"):
+            assert stage[f"{name}_seconds"] >= 0.0
+        assert stage["total_seconds"] == pytest.approx(
+            stage["graph_seconds"]
+            + stage["saturate_seconds"]
+            + stage["simplify_seconds"]
+            + stage["sketch_seconds"]
+        )
+        # This analysis solved at least one SCC cold somewhere in the server's
+        # lifetime; the record reflects real structure, not zeros.
+        assert stage["graph_nodes"] >= 0 and stats["solve_seconds"] > 0.0
+        assert stats["constraints"] > 0
+
+        # Unknown programs get the typed error, same as query.
+        with pytest.raises(TypeQueryError) as err:
+            client.stats("prog_does_not_exist")
+        assert err.value.code == protocol.ErrorCode.UNKNOWN_PROGRAM
+
+
+def test_stats_stage_timings_nonzero_for_cold_analysis():
+    """On a fresh daemon the first analysis must attribute real time to stages."""
+    source = "int twice(int x) { return x + x; }\nint use(int y) { return twice(y); }\n"
+    with running_server() as (host, port, _):
+        with TypeQueryClient(host, port) as client:
+            submitted = client.analyze(source, kind="c")
+            stage = client.stats(submitted["program_id"])["stage_seconds"]
+    assert stage["sccs_timed"] >= 1
+    assert stage["total_seconds"] > 0.0
+    assert stage["sketch_seconds"] > 0.0
+    assert stage["graph_nodes"] > 0 and stage["graph_edges"] > 0

@@ -161,6 +161,42 @@ def test_incremental_session_requires_store():
         IncrementalSession(AnalysisService(ServiceConfig(use_cache=False)))
 
 
+def test_stage_timings_flow_through_service():
+    """Cold analyses carry a per-stage SolveStats record; warm ones report zero work."""
+    program = _program()
+    service = AnalysisService()
+    cold = service.analyze(program)
+
+    stage = cold.stage_seconds
+    assert stage["sccs_timed"] == cold.stats["scc_count"]
+    assert stage["total_seconds"] == pytest.approx(
+        stage["graph_seconds"]
+        + stage["saturate_seconds"]
+        + stage["simplify_seconds"]
+        + stage["sketch_seconds"]
+    )
+    assert stage["sketch_seconds"] > 0.0
+    assert stage["graph_nodes"] > 0 and stage["graph_edges"] > 0
+
+    warm = service.analyze(program)
+    warm_stage = warm.stage_seconds
+    assert warm_stage["sccs_timed"] == 0
+    assert warm_stage["total_seconds"] == 0.0
+
+
+def test_stage_timings_cover_only_the_invalidation_cone():
+    """After an edit, stage counters reflect the re-solved SCCs, not the program."""
+    program = _program()
+    session = IncrementalSession()
+    session.analyze(program)
+
+    edited = _edit(program, "other")  # invalidates other + main_entry only
+    types = session.analyze(edited)
+    stage = types.stage_seconds
+    assert stage["sccs_timed"] == types.stats["sccs_solved"]
+    assert 0 < stage["sccs_timed"] < types.stats["scc_count"]
+
+
 def test_analyze_program_accepts_service_objects():
     program = _program()
     baseline = analyze_program(program)
