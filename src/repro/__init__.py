@@ -1,5 +1,18 @@
 """repro -- a reproduction of "Polymorphic Type Inference for Machine Code" (Retypd).
 
+Grown from the paper's algorithms into a deployable system: a cached,
+incremental, process-parallel analysis service and a network type-query
+server.  The most common entry points::
+
+    from repro import analyze_program          # one program -> ProgramTypes
+    from repro import analyze_corpus           # many programs, shared summaries
+    from repro import AnalysisService          # caching/parallel/incremental driver
+    from repro.server import TypeQueryClient   # talk to a running daemon
+
+``docs/paper-map.md`` maps every paper artifact to its implementation,
+``docs/protocol.md`` specifies the server wire protocol, and
+``docs/operations.md`` is the operator guide.
+
 Subpackages
 -----------
 ``repro.core``

@@ -164,6 +164,41 @@ class ConstraintSet:
             if c.left.base == base or c.right.base == base
         ]
 
+    # -- serialization (process-boundary / summary-store round trip) -----------
+
+    def to_json(self) -> Dict[str, object]:
+        """A canonical JSON-able representation, the inverse of :meth:`from_json`.
+
+        Subtype constraints use the textual syntax of :func:`parse_constraint`;
+        the three-place additive constraints are spelled structurally.  Both
+        lists are sorted, so equal constraint sets always serialize to
+        byte-identical JSON -- the property the process-pool codec and the
+        summary store rely on.
+        """
+        return {
+            "subtype": sorted(str(c) for c in self.subtype),
+            "additive": sorted(
+                [
+                    "add" if isinstance(c, AddConstraint) else "sub",
+                    str(c.left),
+                    str(c.right),
+                    str(c.result),
+                ]
+                for c in self.additive
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ConstraintSet":
+        """Rebuild a constraint set serialized by :meth:`to_json`."""
+        out = cls()
+        for text in data.get("subtype", ()):
+            out.add(parse_constraint(text))
+        for kind, left, right, result in data.get("additive", ()):
+            ctor = AddConstraint if kind == "add" else SubConstraint
+            out.add(ctor(parse_dtv(left), parse_dtv(right), parse_dtv(result)))
+        return out
+
     # -- transformation --------------------------------------------------------
 
     def substitute(self, mapping: Dict[str, str]) -> "ConstraintSet":

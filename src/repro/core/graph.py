@@ -113,7 +113,13 @@ class ConstraintGraph:
             dtvs.add(dtv)
             dtvs.update(dtv.prefixes())
 
-        for dtv in dtvs:
+        # Sorted, not set order: node insertion order seeds every downstream
+        # order (adjacency lists, saturation worklist, simplification, bound
+        # application), and set iteration varies with the per-process string
+        # hash seed.  The solver's results must be a pure function of the
+        # constraints so that a worker process reproduces the parent's answer
+        # byte-for-byte.
+        for dtv in sorted(dtvs, key=str):
             for variance in (Variance.COVARIANT, Variance.CONTRAVARIANT):
                 self._ensure_node(Node(dtv, variance))
 

@@ -94,6 +94,43 @@ class TypeLattice:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    # -- serialization (process-boundary round trip) -----------------------------
+
+    def to_json(self) -> Dict[str, List[str]]:
+        """The Hasse diagram as a JSON-able mapping, inverse of :meth:`from_json`.
+
+        Elements map to their sorted immediate supertypes; two lattices that
+        :meth:`fingerprint` identically serialize identically.  This is how the
+        process-pool backend ships a (possibly user-extended) lattice to its
+        worker processes without pickling.
+        """
+        return {
+            element: sorted(parents)
+            for element, parents in sorted(self._parents.items())
+            if element not in (TOP, BOTTOM)
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Sequence[str]]) -> "TypeLattice":
+        """Rebuild a lattice serialized by :meth:`to_json`, exactly.
+
+        The Hasse diagram is restored verbatim rather than replayed through
+        :meth:`add_element`, because that hook auto-parents forward references
+        under ``TOP`` -- correct for incremental construction, but it would
+        make the round trip lossy (and the fingerprint unstable) whenever the
+        serialized order lists a child before its parent.
+        """
+        out = cls()
+        for element in data:
+            out._parents.setdefault(element, set())
+        for element, parents in data.items():
+            for parent in parents:
+                out._parents.setdefault(parent, set())
+                if parent != element:
+                    out._parents[element].add(parent)
+        out._ancestors_cache = {}
+        return out
+
     # -- order -----------------------------------------------------------------
 
     def _ancestors(self, element: str) -> FrozenSet[str]:

@@ -61,6 +61,9 @@ class SolveStats:
     saturation_edges: int = 0
     constant_bounds: int = 0
     sccs_timed: int = 0
+    #: SCCs whose process-pool worker died and were requeued on the in-process
+    #: path (always 0 for the serial and thread backends).
+    worker_failed: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -81,6 +84,7 @@ class SolveStats:
         self.saturation_edges += other.saturation_edges
         self.constant_bounds += other.constant_bounds
         self.sccs_timed += other.sccs_timed
+        self.worker_failed += other.worker_failed
 
     def to_json(self) -> Dict[str, float]:
         """A flat JSON-able record (the shape served by the server's ``stats`` verb)."""
@@ -95,7 +99,29 @@ class SolveStats:
             "saturation_edges": self.saturation_edges,
             "constant_bounds": self.constant_bounds,
             "sccs_timed": self.sccs_timed,
+            "worker_failed": self.worker_failed,
         }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, float]) -> "SolveStats":
+        """Rebuild a record serialized by :meth:`to_json` (used by the process
+        backend to carry per-SCC worker timings back across the pipe)."""
+        out = cls()
+        for field_name in (
+            "graph_seconds",
+            "saturate_seconds",
+            "simplify_seconds",
+            "sketch_seconds",
+            "graph_nodes",
+            "graph_edges",
+            "saturation_edges",
+            "constant_bounds",
+            "sccs_timed",
+            "worker_failed",
+        ):
+            if field_name in data:
+                setattr(out, field_name, data[field_name])
+        return out
 
 
 @dataclass(frozen=True)

@@ -54,7 +54,13 @@ from .typegen.externs import ExternSignature
 
 @dataclass
 class FunctionTypes:
-    """The inferred typing of one procedure."""
+    """The inferred typing of one procedure.
+
+    Bundles the displayed C view (``function_type``, ``param_names``) with
+    the underlying solver output (``result``: type scheme, formal sketches,
+    shapes).  Instances are obtained from :class:`ProgramTypes`, never built
+    directly.
+    """
 
     name: str
     function_type: FunctionType
@@ -64,16 +70,20 @@ class FunctionTypes:
 
     @property
     def scheme(self) -> TypeScheme:
+        """The procedure's polymorphic type scheme (Definition 3.4)."""
         return self.result.scheme
 
     def signature(self) -> str:
+        """The rendered C declaration, e.g. ``int get_x(const int * arg_stack0);``."""
         return render_function(self.name, self.function_type, self.param_names)
 
     def param_type(self, index: int):
+        """The displayed C type of the ``index``-th parameter."""
         return self.function_type.params[index]
 
     @property
     def return_type(self):
+        """The displayed C return type (``void`` when nothing is returned)."""
         return self.function_type.ret
 
     def to_json(self) -> Dict[str, object]:
@@ -157,7 +167,12 @@ def _referenced_struct_names(ctype: CType, out: set) -> None:
 
 @dataclass
 class ProgramTypes:
-    """Whole-program inference results."""
+    """Whole-program inference results -- what :func:`analyze_program` returns.
+
+    Addressable by procedure name (``types["main"]``, ``"main" in types``);
+    ``stats`` carries solver/service accounting (cache hits, wave widths,
+    per-stage timings -- see :attr:`stage_seconds` and docs/operations.md).
+    """
 
     program: Program
     functions: Dict[str, FunctionTypes]
@@ -185,12 +200,15 @@ class ProgramTypes:
         return dict(stage) if isinstance(stage, dict) else {}
 
     def signature(self, name: str) -> str:
+        """The rendered C declaration of procedure ``name``."""
         return self.functions[name].signature()
 
     def scheme(self, name: str) -> TypeScheme:
+        """The polymorphic type scheme of procedure ``name``."""
         return self.functions[name].scheme
 
     def struct_definitions(self) -> Dict[str, StructType]:
+        """Every struct layout the display layer recovered, by generated name."""
         return self.display.struct_definitions()
 
     def procedure_structs(self, name: str) -> Dict[str, StructType]:

@@ -19,7 +19,10 @@ Modules
 ``repro.server.client``
     :class:`TypeQueryClient` (blocking) and :class:`AsyncTypeQueryClient`.
 
-Run a server with ``python -m repro.server --port 8791 --store-dir .cache``.
+Run a server with ``python -m repro.server --port 8791 --store-dir .cache``
+(add ``--backend processes`` to solve SCC waves on worker processes).  The
+wire protocol is specified in ``docs/protocol.md``; operator guidance lives
+in ``docs/operations.md``.
 """
 
 from .app import ServerConfig, TypeQueryServer, run_server

@@ -42,7 +42,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-request-bytes", type=int, default=MAX_LINE_BYTES, help="request line cap (default: %(default)s)"
     )
     parser.add_argument(
-        "--parallel-waves", action="store_true", help="also solve independent SCC waves on threads"
+        "--backend",
+        choices=["serial", "threads", "processes", "auto"],
+        default=None,
+        help="wave executor for each analysis: 'processes' solves independent "
+        "SCCs on worker processes (true multi-core), 'auto' picks by workload "
+        "size (default: serial)",
+    )
+    parser.add_argument(
+        "--backend-workers",
+        type=int,
+        default=None,
+        help="worker count for the wave backend (default: min(8, cpus))",
+    )
+    parser.add_argument(
+        "--parallel-waves", action="store_true", help="legacy alias for --backend threads"
     )
     parser.add_argument(
         "--allow-shutdown", action="store_true", help="honour the remote 'shutdown' verb"
@@ -67,6 +81,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_pending=args.max_pending,
         max_request_bytes=args.max_request_bytes,
         parallel_waves=args.parallel_waves,
+        backend=args.backend,
+        backend_workers=args.backend_workers,
         allow_shutdown=args.allow_shutdown,
     )
     try:

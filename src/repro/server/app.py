@@ -69,8 +69,17 @@ class ServerConfig:
     max_pending: int = 64
     #: per-request line cap; longer lines get a ``too_large`` error.
     max_request_bytes: int = protocol.MAX_LINE_BYTES
-    #: solve independent SCC waves of one analysis on threads as well.
+    #: legacy spelling of ``backend="threads"``; ignored when ``backend`` set.
     parallel_waves: bool = False
+    #: wave executor strategy for each analysis: ``"serial"`` | ``"threads"``
+    #: | ``"processes"`` | ``"auto"``.  ``"processes"`` is what actually
+    #: scales with cores -- request handling stays on the thread pool, but
+    #: the CPU-heavy per-SCC solving escapes the GIL onto worker processes
+    #: (see docs/operations.md for choosing).  ``None`` derives from
+    #: ``parallel_waves``.
+    backend: Optional[str] = None
+    #: worker count for the wave backend (``None``: min(8, cpus)).
+    backend_workers: Optional[int] = None
     #: open incremental sessions allowed at once (a disconnected client's
     #: sessions stay reclaimable only via this bound).
     max_sessions: int = 64
@@ -103,6 +112,8 @@ class TypeQueryServer:
                 cache_capacity=self.config.cache_capacity,
                 cache_dir=self.config.store_dir,
                 parallel=self.config.parallel_waves,
+                executor=self.config.backend,
+                max_workers=self.config.backend_workers,
             )
         )
         if self.service.store is None:
@@ -167,6 +178,8 @@ class TypeQueryServer:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        # Release the service's worker processes (no-op for serial/threads).
+        self.service.close()
 
     # -- connection handling ---------------------------------------------------
 
@@ -377,8 +390,13 @@ class TypeQueryServer:
             "errors_returned": self.errors_returned,
             "analyses_pending": self._pending,
             "sessions_open": len(self._sessions),
+            "backend": self.config.backend
+            or ("threads" if self.config.parallel_waves else "serial"),
             "registry": self.registry.snapshot(),
             "store": store.stats.snapshot() if store is not None else {},
+            # Per-worker SolveStats merge of the process backend (empty until
+            # the first process-backed analysis builds the pool).
+            "procpool": self.service.procpool_snapshot(),
         }
 
     async def _op_analyze(self, params: Dict[str, object]) -> Dict[str, object]:

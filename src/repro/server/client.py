@@ -66,21 +66,33 @@ class _VerbMixin:
     """
 
     def ping(self):
+        """Liveness/version check: server name, protocol version, pid."""
         return self.request("ping")
 
     def stats(self, program_id: Optional[str] = None):
         """Daemon counters, or -- given a ``program_id`` -- the per-stage
-        solver timings (graph/saturate/simplify/sketch) of that analysis."""
+        solver timings (graph/saturate/simplify/sketch) of that analysis,
+        including which wave executor solved it and, under the process
+        backend, the per-worker ``SolveStats`` merge plus the typed
+        ``worker_failed`` count (see docs/protocol.md)."""
         if program_id is None:
             return self.request("stats")
         return self.request("stats", {"program_id": program_id})
 
     def analyze(self, source: str, kind: str = "asm", full: bool = False):
+        """Submit ``source`` (``kind``: ``"asm"`` or ``"c"``) for analysis.
+
+        Returns the program id (a content hash -- resubmitting is a cache
+        hit), procedure names and rendered signatures; ``full=True`` adds the
+        whole-program payload.
+        """
         return self.request(
             "analyze", {"source": source, "kind": kind, "full": full}
         )
 
     def query(self, program_id: str, procedure: Optional[str] = None):
+        """Fetch an analyzed program, or one procedure's signature, scheme,
+        formal sketches and transitively-referenced struct layouts."""
         params: Dict[str, object] = {"program_id": program_id}
         if procedure is not None:
             params["procedure"] = procedure
@@ -95,17 +107,23 @@ class _VerbMixin:
         return self.request("corpus", {"programs": normalized})
 
     def session_open(self, source: str, kind: str = "asm"):
+        """Open an incremental session on ``source``; returns ``session_id``
+        plus the first analysis (later edits re-solve only their cone)."""
         return self.request("session.open", {"source": source, "kind": kind})
 
     def session_edit(self, session_id: str, source: str, kind: str = "asm"):
+        """Re-analyze an edited version inside a session; the reply names the
+        invalidation cone (``invalidated_procedures``/``solved_procedures``)."""
         return self.request(
             "session.edit", {"session_id": session_id, "source": source, "kind": kind}
         )
 
     def session_close(self, session_id: str):
+        """Discard a session and free its server-side slot."""
         return self.request("session.close", {"session_id": session_id})
 
     def shutdown(self):
+        """Stop the daemon (only honoured when started with --allow-shutdown)."""
         return self.request("shutdown")
 
 

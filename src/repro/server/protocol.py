@@ -230,6 +230,7 @@ def stats_payload(types, program_id: str) -> Dict[str, object]:
     """
     stats = types.stats
     stage = stats.get("stage_seconds", {})
+    workers = stats.get("worker_stats", {})
     return {
         "program_id": program_id,
         "procedures": sorted(types.functions),
@@ -241,6 +242,13 @@ def stats_payload(types, program_id: str) -> Dict[str, object]:
         "sccs_cached": stats.get("sccs_cached"),
         "constraints": stats.get("constraints"),
         "instructions": stats.get("instructions"),
+        # Wave-executor accounting: which strategy solved this program, the
+        # per-worker (by pid) SolveStats merge when it was the process
+        # backend, and how many SCCs were requeued in-process after a worker
+        # died (always 0 on the serial/thread paths).
+        "executor": stats.get("executor", "serial"),
+        "worker_stats": dict(workers) if isinstance(workers, dict) else workers,
+        "worker_failed": stats.get("worker_failed", 0),
     }
 
 

@@ -10,15 +10,23 @@ workloads, without changing a single inferred type:
     :class:`AnalysisService` -- the driver the pipeline routes through -- and
     :class:`IncrementalSession` for re-analysis after edits.
 ``repro.service.scheduler``
-    :class:`WaveScheduler` -- solves independent SCCs of one topological wave
-    of the call-graph condensation concurrently.
+    :class:`WaveScheduler` -- dispatches independent SCCs of one topological
+    wave of the call-graph condensation through a pluggable executor strategy
+    (``"serial"`` | ``"threads"`` | ``"processes"`` | ``"auto"``).
+``repro.service.procpool``
+    :class:`ProcPool` -- the process-parallel solve backend: warm worker
+    processes, a pickle-free JSON codec for per-SCC solver inputs/outputs,
+    shared-disk-tier reuse, and in-process requeue on worker crash.
 ``repro.service.batch``
     :func:`analyze_corpus` -- many programs against one shared store.
+
+See ``docs/operations.md`` for how to choose and tune an executor.
 """
 
 from .batch import CorpusReport, ProgramReport, analyze_corpus
 from .incremental import AnalysisService, IncrementalSession, ServiceConfig
-from .scheduler import ScheduleStats, WaveScheduler
+from .procpool import ProcPool, ProcessWaveRunner
+from .scheduler import ScheduleStats, WaveScheduler, choose_executor
 from .store import (
     ProcedureSummary,
     SCCSummary,
@@ -33,7 +41,9 @@ __all__ = [
     "AnalysisService",
     "CorpusReport",
     "IncrementalSession",
+    "ProcPool",
     "ProcedureSummary",
+    "ProcessWaveRunner",
     "ProgramReport",
     "SCCSummary",
     "ScheduleStats",
@@ -42,6 +52,7 @@ __all__ = [
     "SummaryStore",
     "WaveScheduler",
     "analyze_corpus",
+    "choose_executor",
     "procedure_fingerprint",
     "program_fingerprints",
     "scc_summary_keys",

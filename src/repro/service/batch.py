@@ -122,6 +122,7 @@ def analyze_corpus(
     reuse still happens *within* the corpus -- cluster members sharing
     statically-linked code hit the cache for every shared SCC.
     """
+    owned = service is None
     if service is None:
         service = AnalysisService(
             config=config, lattice=lattice, externs=externs, store=store
@@ -129,17 +130,23 @@ def analyze_corpus(
     items = programs.items() if isinstance(programs, Mapping) else programs
 
     reports: Dict[str, ProgramReport] = {}
-    for name, source in items:
-        start = time.perf_counter()
-        types = service.analyze(source)
-        elapsed = time.perf_counter() - start
-        reports[name] = ProgramReport(
-            name=name,
-            types=types,
-            seconds=elapsed,
-            cache_hits=int(types.stats.get("cache_hits", 0)),
-            cache_misses=int(types.stats.get("cache_misses", 0)),
-            wave_widths=list(types.stats.get("dag_wave_widths", ())),
-        )
+    try:
+        for name, source in items:
+            start = time.perf_counter()
+            types = service.analyze(source)
+            elapsed = time.perf_counter() - start
+            reports[name] = ProgramReport(
+                name=name,
+                types=types,
+                seconds=elapsed,
+                cache_hits=int(types.stats.get("cache_hits", 0)),
+                cache_misses=int(types.stats.get("cache_misses", 0)),
+                wave_widths=list(types.stats.get("dag_wave_widths", ())),
+            )
+    finally:
+        if owned:
+            # A corpus-local service keeps its process pool warm across the
+            # members above, then releases the workers with the service.
+            service.close()
     store_stats = service.store.stats.snapshot() if service.store is not None else {}
     return CorpusReport(reports=reports, store_stats=store_stats)

@@ -26,6 +26,7 @@ and refinement contributions are re-applied in the solver's exact caller order.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import ChainMap
 from dataclasses import dataclass, field as dc_field
@@ -53,7 +54,8 @@ from ..typegen.externs import (
     extern_schemes,
     standard_externs,
 )
-from .scheduler import WaveScheduler
+from .procpool import ProcPool, ProcessWaveRunner, encode_environment
+from .scheduler import WaveScheduler, choose_executor
 from .store import (
     SCCSummary,
     SummaryStore,
@@ -77,10 +79,18 @@ class ServiceConfig:
     cache_capacity: int = 4096
     #: optional directory for the store's persistent on-disk JSON tier.
     cache_dir: Optional[str] = None
-    #: solve independent SCCs of one wave concurrently.
+    #: legacy spelling of ``executor="threads"``; ignored when ``executor`` is
+    #: set explicitly.
     parallel: bool = False
-    #: thread-pool size for parallel wave solving (default: min(8, cpus)).
+    #: worker-pool size for parallel wave solving (default: min(8, cpus)).
     max_workers: Optional[int] = None
+    #: wave executor strategy: ``"serial"`` | ``"threads"`` | ``"processes"``
+    #: | ``"auto"`` (picked per workload by :func:`~repro.service.scheduler.
+    #: choose_executor`).  ``None`` derives from the legacy ``parallel`` flag.
+    executor: Optional[str] = None
+    #: chunks per worker per wave for the process backend (>1 lets the pool
+    #: rebalance skewed waves at the cost of more IPC messages).
+    procpool_chunks_per_worker: int = 2
 
 
 class AnalysisService:
@@ -108,8 +118,72 @@ class AnalysisService:
         else:
             self.store = None
         self.scheduler = WaveScheduler(
-            parallel=self.config.parallel, max_workers=self.config.max_workers
+            parallel=self.config.parallel,
+            max_workers=self.config.max_workers,
+            executor=self.config.executor,
         )
+        #: lazily-built process pool (``executor="processes"``/``"auto"``),
+        #: keyed by its environment payload and kept warm across analyses.
+        self._procpool = None
+        # Serializes pool build/teardown: the server drives one service from
+        # several request threads, and racing lazy inits would leak a pool
+        # (spawned workers and all) that close() could never reach.
+        self._procpool_lock = threading.Lock()
+
+    # -- executor / process-pool lifecycle -------------------------------------
+
+    def _ensure_procpool(self):
+        """The warm process pool for this service's current environment.
+
+        Rebuilt (old workers torn down) whenever the encoded environment --
+        lattice, extern table, solver config, disk tier -- changes, so workers
+        can never solve under a stale environment.  Thread-safe.
+        """
+        env = encode_environment(
+            self.lattice,
+            self.extern_table,
+            self.config.solver,
+            self.store.cache_dir if self.store is not None else None,
+        )
+        with self._procpool_lock:
+            if self._procpool is not None and self._procpool.env_json != env:
+                self._procpool.close()
+                self._procpool = None
+            if self._procpool is None:
+                self._procpool = ProcPool(
+                    env,
+                    max_workers=self.scheduler.max_workers,
+                    chunks_per_worker=self.config.procpool_chunks_per_worker,
+                )
+            return self._procpool
+
+    def procpool_snapshot(self) -> Dict[str, object]:
+        """Pool counters and the cumulative per-worker SolveStats merge.
+
+        Empty until the first process-backed analysis builds the pool; this
+        is the public surface the server's ``stats`` verb serves.
+        """
+        with self._procpool_lock:
+            return self._procpool.snapshot() if self._procpool is not None else {}
+
+    def close(self) -> None:
+        """Release the process pool (if any); the service stays usable.
+
+        Safe to call repeatedly; the pool is rebuilt lazily on the next
+        process-backend analysis.  Long-lived owners (the type-query server,
+        corpus drivers) call this on shutdown so worker processes never
+        outlive their parent's useful life.
+        """
+        with self._procpool_lock:
+            if self._procpool is not None:
+                self._procpool.close()
+                self._procpool = None
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- public API ------------------------------------------------------------
 
@@ -194,34 +268,58 @@ class AnalysisService:
         def solve(scc: Sequence[str]):
             # A fresh per-SCC stats record: SCCs of one wave may solve on
             # threads concurrently, so they must not mutate a shared record.
+            # The trailing None slot is the serialized-summary payload, which
+            # only the process backend fills in (its results arrive as JSON).
             scc_stats = SolveStats()
             scc_results = solver.solve_scc(scc, inputs, working, stats=scc_stats)
             if not refine:
-                return scc_results, {}, scc_stats
+                return scc_results, {}, scc_stats, None
             # Same-SCC callees shadow, earlier waves fall through; no copy.
             merged = ChainMap(scc_results, working)
             contributions = {
                 name: collect_caller_contributions(inputs[name], scc_results[name], merged)
                 for name in scc
             }
-            return scc_results, contributions, scc_stats
+            return scc_results, contributions, scc_stats, None
 
         def publish(wave_results):
-            for scc, (scc_results, contributions, scc_stats) in wave_results:
+            for scc, (scc_results, contributions, scc_stats, payload) in wave_results:
                 stage_stats.merge(scc_stats)
                 working.update(scc_results)
                 for name in scc:
                     contributions_of[name] = list(contributions.get(name, ()))
                 if self.store is not None and self.config.use_cache:
-                    self.store.put(
-                        keys[tuple(scc)], summarize_scc(scc, scc_results, contributions)
-                    )
+                    if payload is not None:
+                        # Worker-solved: the worker already published this
+                        # payload to the shared disk tier, so only the memory
+                        # tier needs admitting here.
+                        self.store.admit_payload(
+                            keys[tuple(scc)], payload, write_disk=False
+                        )
+                    else:
+                        self.store.put(
+                            keys[tuple(scc)],
+                            summarize_scc(scc, scc_results, contributions),
+                        )
 
         missing_waves = [
             [scc for scc in wave if tuple(scc) not in cached] for wave in waves
         ]
         missing_waves = [wave for wave in missing_waves if wave]
-        _, schedule_stats = self.scheduler.run(missing_waves, solve, publish)
+
+        executor = self.scheduler.executor
+        if executor == "auto":
+            executor = choose_executor(missing_waves)
+        runner = None
+        if executor == "processes":
+            runner = ProcessWaveRunner(
+                self._ensure_procpool(), inputs, working, keys, self.lattice
+            )
+        _, schedule_stats = self.scheduler.run(
+            missing_waves, solve, publish, remote=runner, executor=executor
+        )
+        if runner is not None:
+            stage_stats.worker_failed += runner.worker_failed
 
         # Deterministic final ordering: the display layer names structs in
         # conversion order, so results must surface bottom-up like the plain
@@ -255,6 +353,14 @@ class AnalysisService:
             "stage_seconds": stage_stats.to_json(),
         }
         stats.update(schedule_stats.as_stats())
+        if runner is not None:
+            # Per-worker (by pid) SolveStats merge for this run -- the record
+            # the server's ``stats`` verb serves alongside the aggregate.
+            stats["worker_stats"] = {
+                str(pid): worker_stats.to_json()
+                for pid, worker_stats in sorted(runner.worker_stats.items())
+            }
+            stats["worker_disk_reused"] = runner.disk_reused
         if self.store is not None:
             stats["store"] = self.store.stats.snapshot()
         return results, stats

@@ -4,14 +4,35 @@ The call-graph condensation is levelled into waves (:meth:`CallGraph.scc_waves
 <repro.ir.callgraph.CallGraph.scc_waves>`): every SCC only depends on strictly
 earlier waves, so all SCCs within one wave are data-independent and can be
 solved in parallel.  The scheduler walks waves bottom-up; within a wave it
-dispatches per-SCC work either serially or on a ``concurrent.futures`` thread
-pool, and always merges results in the wave's listed SCC order so the outcome
-is deterministic regardless of completion order.
+dispatches per-SCC work through a pluggable **executor strategy** and always
+merges results in the wave's listed SCC order, so the outcome is deterministic
+regardless of completion order.
 
-Threads (not processes) are the right executor here: solver inputs and results
-are plain Python objects that would be expensive to pickle, per-SCC work drops
-into C-implemented set/dict operations often enough for some overlap, and the
-serial fallback keeps single-core behaviour unchanged.
+Executor strategies (``executor=``):
+
+``"serial"``
+    One SCC at a time on the calling thread.  Zero overhead; the right choice
+    for small programs and the default.
+``"threads"``
+    A ``concurrent.futures`` thread pool.  Because the solver is pure Python,
+    the GIL serializes its CPU work -- threads only overlap the short
+    C-implemented set/dict stretches, so the wall-clock win is modest.  This
+    strategy exists for explicit opt-in (it keeps single-process semantics:
+    shared objects, no codec, easy debugging), not as the performance path.
+    The old claim in this file that "threads are the right executor here" was
+    measured and retired; see ``docs/operations.md``.
+``"processes"``
+    The :mod:`~repro.service.procpool` backend: chunks of a wave are shipped
+    to warm worker processes as JSON (pickle-free), solved in true parallel,
+    and the summaries shipped back.  A crashed worker requeues its SCCs on
+    the in-process path (typed ``worker_failed`` stat).  This is the strategy
+    that actually scales with cores; it needs a ``remote`` runner supplied by
+    the analysis service.
+``"auto"``
+    Resolved per run by :func:`choose_executor` from the workload size: wide
+    waves on a multi-core host pick ``"processes"``, everything else
+    ``"serial"`` (threads are never auto-picked -- on a GIL runtime they cost
+    complexity without buying wall-clock).
 """
 
 from __future__ import annotations
@@ -24,6 +45,31 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
+#: the executor strategies the scheduler accepts.
+EXECUTORS = ("serial", "threads", "processes", "auto")
+
+#: ``auto`` picks processes only when at least this many SCCs could overlap
+#: (sum over waves of ``width - 1``): below it, chunk codec + IPC overhead on
+#: millisecond-sized SCC solves eats the multi-core win.
+AUTO_PROCESS_THRESHOLD = 16
+
+
+def choose_executor(
+    waves: Sequence[Sequence[Sequence[str]]],
+    cpu_count: Optional[int] = None,
+) -> str:
+    """Resolve the ``"auto"`` strategy for one workload.
+
+    The decision is workload-sized: ``processes`` when the condensation has
+    enough same-wave SCCs to keep several cores busy (and the host has
+    several), ``serial`` otherwise.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpus < 2:
+        return "serial"
+    overlap = sum(max(0, len(wave) - 1) for wave in waves)
+    return "processes" if overlap >= AUTO_PROCESS_THRESHOLD else "serial"
+
 
 @dataclass
 class ScheduleStats:
@@ -32,6 +78,11 @@ class ScheduleStats:
     wave_widths: List[int] = dc_field(default_factory=list)
     scc_seconds: List[Tuple[str, float]] = dc_field(default_factory=list)
     parallel: bool = False
+    #: the executor strategy actually used (post-``auto`` resolution).
+    executor: str = "serial"
+    #: SCCs requeued in-process after their worker died or misbehaved.
+    worker_failed: int = 0
+    requeued_sccs: List[str] = dc_field(default_factory=list)
 
     @property
     def wave_count(self) -> int:
@@ -50,14 +101,36 @@ class ScheduleStats:
             "mean_wave_width": (sum(widths) / len(widths)) if widths else 0.0,
             "scc_seconds": list(self.scc_seconds),
             "parallel": self.parallel,
+            "executor": self.executor,
+            "worker_failed": self.worker_failed,
+            "requeued_sccs": list(self.requeued_sccs),
         }
 
 
 class WaveScheduler:
-    """Run a per-SCC function over levelled waves, optionally in parallel."""
+    """Run a per-SCC function over levelled waves under an executor strategy.
 
-    def __init__(self, parallel: bool = False, max_workers: Optional[int] = None) -> None:
-        self.parallel = parallel
+    ``executor`` picks the strategy (see the module docstring); the legacy
+    ``parallel=True`` spelling maps to ``"threads"``.  The ``"processes"``
+    strategy additionally needs a ``remote`` runner passed to :meth:`run`
+    (the service builds a :class:`~repro.service.procpool.ProcessWaveRunner`
+    per analysis); without one it degrades to serial.
+    """
+
+    def __init__(
+        self,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> None:
+        if executor is None:
+            executor = "threads" if parallel else "serial"
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r} (expected one of {EXECUTORS})"
+            )
+        self.executor = executor
+        self.parallel = executor in ("threads", "processes")
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
 
     def run(
@@ -65,27 +138,44 @@ class WaveScheduler:
         waves: Sequence[Sequence[Sequence[str]]],
         solve: Callable[[Sequence[str]], T],
         after_wave: Optional[Callable[[List[Tuple[Sequence[str], T]]], None]] = None,
+        remote: Optional[object] = None,
+        executor: Optional[str] = None,
     ) -> Tuple[List[Tuple[Sequence[str], T]], ScheduleStats]:
         """Drain the waves bottom-up.
 
-        ``solve`` is called once per SCC; SCCs of one wave may run
-        concurrently, and ``after_wave`` (if given) receives the wave's
-        ``(scc, result)`` pairs -- in listed order -- once the whole wave has
-        completed, which is where the driver publishes callee summaries before
-        the next wave starts.  Returns all ``(scc, result)`` pairs in
-        deterministic bottom-up order plus scheduling statistics.
+        ``solve`` is called once per SCC (and is the in-process fallback for
+        requeued SCCs under the process strategy); ``after_wave`` (if given)
+        receives the wave's ``(scc, result)`` pairs -- in listed order -- once
+        the whole wave has completed, which is where the driver publishes
+        callee summaries before the next wave starts.  ``executor`` overrides
+        the constructor strategy for this run (the service resolves ``"auto"``
+        per workload); ``remote`` is the process-backend runner.  Returns all
+        ``(scc, result)`` pairs in deterministic bottom-up order plus
+        scheduling statistics.
         """
-        use_parallel = self.parallel and self.max_workers > 1
-        stats = ScheduleStats(parallel=use_parallel)
+        mode = executor or self.executor
+        if mode == "auto":
+            mode = choose_executor(waves)
+        if mode == "processes" and remote is None:
+            mode = "serial"
+        if mode == "threads" and self.max_workers <= 1:
+            # A one-thread pool is serial execution; report it honestly.
+            mode = "serial"
+        use_threads = mode == "threads"
+        stats = ScheduleStats(parallel=mode in ("threads", "processes"), executor=mode)
         all_results: List[Tuple[Sequence[str], T]] = []
         # One pool for the whole run: deep call graphs have many narrow waves
         # and must not pay thread spawn/join per wave.
-        pool = ThreadPoolExecutor(max_workers=self.max_workers) if use_parallel else None
+        pool = ThreadPoolExecutor(max_workers=self.max_workers) if use_threads else None
         try:
             for wave in waves:
                 stats.wave_widths.append(len(wave))
                 timed: List[Tuple[Sequence[str], T, float]]
-                if pool is not None and len(wave) > 1:
+                if mode == "processes" and len(wave) > 1:
+                    # Single-SCC waves stay in-process: IPC without overlap is
+                    # pure overhead.
+                    timed = remote.solve_wave(wave, solve)
+                elif pool is not None and len(wave) > 1:
                     futures = [pool.submit(_timed_call, solve, scc) for scc in wave]
                     timed = [
                         (scc, *future.result()) for scc, future in zip(wave, futures)
@@ -102,6 +192,9 @@ class WaveScheduler:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+        if remote is not None and mode == "processes":
+            stats.worker_failed = getattr(remote, "worker_failed", 0)
+            stats.requeued_sccs = list(getattr(remote, "requeued_sccs", ()))
         return all_results, stats
 
 

@@ -413,21 +413,43 @@ class SummaryStore:
 
     def get(self, key: str, lattice: TypeLattice) -> Optional[SCCSummary]:
         """Look a summary up by content key, recording a hit or a miss."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        return deserialize_summary(payload, lattice)
+
+    def get_payload(self, key: str) -> Optional[Dict[str, object]]:
+        """Look up the *raw JSON payload* of a summary, recording hit/miss.
+
+        This is the transfer format of the process-pool backend: a worker that
+        finds the key in the shared disk tier returns the payload verbatim, so
+        a hit never pays deserialize-then-reserialize on its way to the parent.
+        """
         payload = self._get_payload(key)
         with self._lock:
             if payload is None:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
-        if payload is None:
-            return None
-        return deserialize_summary(payload, lattice)
+        return payload
 
     def put(self, key: str, summary: SCCSummary) -> None:
         """Serialize and admit a freshly-solved SCC summary."""
+        self.admit_payload(key, serialize_summary(summary), write_disk=True)
+
+    def admit_payload(
+        self, key: str, payload: Dict[str, object], write_disk: bool = True
+    ) -> None:
+        """Admit an already-serialized summary payload.
+
+        ``write_disk=False`` skips the disk tier: the process-pool parent uses
+        it for summaries its workers solved, because the worker already
+        published the entry to the shared directory and a second atomic write
+        would only burn I/O.
+        """
         with self._lock:
             self.stats.puts += 1
-        self._admit(key, serialize_summary(summary), write_disk=True)
+        self._admit(key, payload, write_disk=write_disk)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

@@ -1,0 +1,68 @@
+"""docs/protocol.md is generated-checked against repro/server/protocol.py.
+
+The spec must name every operation as a ``### `verb``` heading, document every
+typed error code in its table, and quote the version and size constants the
+implementation actually uses -- and it must not document verbs or codes that
+no longer exist.
+"""
+
+import os
+import re
+
+from repro.server import protocol
+
+SPEC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "docs",
+    "protocol.md",
+)
+
+
+def _spec_text():
+    with open(SPEC, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_every_operation_has_a_spec_section_and_vice_versa():
+    text = _spec_text()
+    documented = set(re.findall(r"^### `([a-z.]+)`$", text, flags=re.MULTILINE))
+    assert documented == set(protocol.OPERATIONS), (
+        f"spec sections {sorted(documented)} != implemented operations "
+        f"{sorted(protocol.OPERATIONS)}"
+    )
+
+
+def test_every_error_code_is_documented_and_vice_versa():
+    text = _spec_text()
+    table = re.findall(r"^\| `([a-z_]+)` \|", text, flags=re.MULTILINE)
+    assert table, "error-code table missing"
+    assert set(table) == set(protocol.ErrorCode.ALL), (
+        f"documented codes {sorted(set(table))} != implemented codes "
+        f"{sorted(protocol.ErrorCode.ALL)}"
+    )
+    # The table lists each code exactly once.
+    assert len(table) == len(set(table))
+
+
+def test_constants_are_quoted_accurately():
+    text = _spec_text()
+    version = re.search(r"current version is\s+`(\d+)`", text)
+    assert version, "spec does not state the current protocol version"
+    assert int(version.group(1)) == protocol.PROTOCOL_VERSION
+    assert str(protocol.MAX_LINE_BYTES) in text, (
+        "spec does not quote MAX_LINE_BYTES's actual value"
+    )
+    assert protocol.SERVER_NAME in text
+
+
+def test_source_kinds_are_documented():
+    text = _spec_text()
+    for kind in protocol.SOURCE_KINDS:
+        assert f'"{kind}"' in text or f"`{kind}`" in text
+
+
+def test_issue_named_error_codes_are_typed():
+    """The codes the admission-control design hinges on exist and are spec'd."""
+    text = _spec_text()
+    for code in (protocol.ErrorCode.OVERLOADED, protocol.ErrorCode.TOO_LARGE):
+        assert f"`{code}`" in text

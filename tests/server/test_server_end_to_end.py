@@ -496,3 +496,47 @@ def test_stats_stage_timings_nonzero_for_cold_analysis():
     assert stage["total_seconds"] > 0.0
     assert stage["sketch_seconds"] > 0.0
     assert stage["graph_nodes"] > 0 and stage["graph_edges"] > 0
+
+
+def test_process_backend_server_serves_worker_stats():
+    """A --backend processes daemon answers identically and exposes the
+    per-worker SolveStats merge through the ``stats`` verb."""
+    source = """
+    struct box { int value; int fd; };
+
+    int leaf_a(const struct box * b) { return b->value; }
+    int leaf_b(const struct box * b) { return b->fd; }
+    int leaf_c(int x) { return x * 2; }
+    int leaf_d(int x, int y) { return x - y; }
+    int leaf_e(int x) { return x + 7; }
+
+    int mid_one(const struct box * b, int x) { return leaf_a(b) + leaf_c(x); }
+    int mid_two(const struct box * b, int y) { return leaf_b(b) + leaf_d(y, 3); }
+
+    int top(struct box * b, int x) { return mid_one(b, x) + mid_two(b, x) + leaf_e(x); }
+    """
+    from repro.frontend import compile_c
+
+    expected = analyze_program(compile_c(source).program)
+    with running_server(backend="processes", backend_workers=2) as (host, port, _):
+        with TypeQueryClient(host, port) as client:
+            submitted = client.analyze(source, kind="c", full=True)
+            # Fidelity holds across the process boundary and the socket.
+            assert submitted["signatures"] == {
+                name: expected.signature(name) for name in sorted(expected.functions)
+            }
+            assert submitted["program"]["report"] == expected.report()
+
+            program_stats = client.stats(submitted["program_id"])
+            assert program_stats["executor"] == "processes"
+            assert program_stats["worker_failed"] == 0
+            workers = program_stats["worker_stats"]
+            assert workers, "per-worker SolveStats merge missing"
+            assert sum(entry["sccs_timed"] for entry in workers.values()) > 0
+
+            daemon_stats = client.stats()
+            assert daemon_stats["backend"] == "processes"
+            pool = daemon_stats["procpool"]
+            assert pool["max_workers"] == 2
+            assert pool["chunks_dispatched"] >= 1
+            assert pool["workers"], "pool-level per-worker stats missing"

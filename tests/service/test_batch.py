@@ -68,3 +68,24 @@ def test_harness_batched_suite_matches_engine_path():
     assert batched.overall() == plain.overall()
     assert batched.batch is not None
     assert batched.batch.total_cache_hits > 0
+
+
+def test_corpus_on_the_process_backend_matches_serial():
+    """analyze_corpus(config=...) routes the executor choice through; the
+    internally-created service keeps one warm pool across members and
+    releases it when the corpus finishes."""
+    from repro.service import ServiceConfig
+
+    workloads = _cluster()
+    serial = analyze_corpus({w.name: w.program for w in workloads})
+    parallel = analyze_corpus(
+        {w.name: w.program for w in workloads},
+        config=ServiceConfig(executor="processes", max_workers=2),
+    )
+    for workload in workloads:
+        assert (
+            parallel[workload.name].types.report()
+            == serial[workload.name].types.report()
+        )
+    # Shared-library reuse still happens under the process backend.
+    assert parallel.total_cache_hits > 0

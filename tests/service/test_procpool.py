@@ -1,0 +1,318 @@
+"""Process-pool backend: codec fidelity, byte-identity, crash requeue.
+
+Three layers of guarantees:
+
+* the **codec** round-trips solver inputs and outputs byte-identically
+  (property-tested: encode -> decode -> re-encode is the identity on the
+  canonical JSON);
+* the **backend** produces results byte-identical to a serial
+  ``analyze_program`` run (the acceptance bar for shipping work across
+  process boundaries);
+* **failure injection** -- a worker hard-crash (``os._exit``) and a soft
+  worker exception both requeue the affected SCCs on the in-process path,
+  counted by the typed ``worker_failed`` stat, without changing any result.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import analyze_program
+from repro.core.constraints import ConstraintSet, parse_constraints
+from repro.core.lattice import TypeLattice, default_lattice
+from repro.core.solver import (
+    ProcedureTypingInput,
+    SolveStats,
+    Solver,
+    SolverConfig,
+)
+from repro.core.variables import parse_dtv
+from repro.frontend import compile_c
+from repro.ir.callgraph import CallGraph
+from repro.service import AnalysisService, ServiceConfig, choose_executor
+from repro.service import procpool
+from repro.service.store import (
+    SCCSummary,
+    deserialize_summary,
+    environment_fingerprint,
+    program_fingerprints,
+    scc_summary_keys,
+    serialize_summary,
+    summarize_scc,
+)
+from repro.typegen.abstract_interp import generate_program_constraints
+from repro.typegen.externs import ensure_lattice_tags, extern_schemes, standard_externs
+
+# A program with a wide first wave (every helper is a leaf) so the process
+# backend actually dispatches chunks, plus a diamond on top.
+SOURCE = """
+struct box { int value; int fd; };
+
+int leaf_a(const struct box * b) { return b->value; }
+int leaf_b(const struct box * b) { return b->fd; }
+int leaf_c(int x) { return x * 2; }
+int leaf_d(int x, int y) { return x - y; }
+int leaf_e(int x) { return x + 7; }
+
+int mid_one(const struct box * b, int x) { return leaf_a(b) + leaf_c(x); }
+int mid_two(const struct box * b, int y) { return leaf_b(b) + leaf_d(y, 3); }
+
+int top(struct box * b, int x) { return mid_one(b, x) + mid_two(b, x) + leaf_e(x); }
+"""
+
+
+def _program():
+    return compile_c(SOURCE).program
+
+
+def _canonical_bytes(types):
+    """The timing-free canonical JSON of an analysis (byte-comparable)."""
+    payload = types.to_json()
+    return json.dumps(
+        {
+            "functions": payload["functions"],
+            "structs": payload["structs"],
+            "report": payload["report"],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# The acceptance bar: byte-identical to serial analyze_program
+# ---------------------------------------------------------------------------
+
+
+def test_process_backend_byte_identical_to_serial_analyze_program():
+    program = _program()
+    baseline = analyze_program(program)
+    with AnalysisService(
+        ServiceConfig(use_cache=False, executor="processes", max_workers=2)
+    ) as service:
+        types = service.analyze(program)
+        warm = service.analyze(program)  # warm pool, same answer
+    assert types.stats["executor"] == "processes"
+    assert types.stats["worker_failed"] == 0
+    assert _canonical_bytes(types) == _canonical_bytes(baseline)
+    assert _canonical_bytes(warm) == _canonical_bytes(baseline)
+    # Real workers solved real SCCs and reported their per-stage timings.
+    worker_stats = types.stats["worker_stats"]
+    assert worker_stats, "expected at least one worker to report SolveStats"
+    assert sum(entry["sccs_timed"] for entry in worker_stats.values()) > 0
+
+
+def test_process_backend_with_store_matches_and_caches(tmp_path):
+    program = _program()
+    baseline = analyze_program(program)
+    with AnalysisService(
+        ServiceConfig(cache_dir=str(tmp_path), executor="processes", max_workers=2)
+    ) as service:
+        cold = service.analyze(program)
+        warm = service.analyze(program)
+    assert _canonical_bytes(cold) == _canonical_bytes(baseline)
+    assert _canonical_bytes(warm) == _canonical_bytes(baseline)
+    # The second run is served from the parent store: no dispatch at all.
+    assert warm.stats["sccs_solved"] == 0
+    # Workers published to the shared disk tier; entries exist on disk.
+    assert any(tmp_path.rglob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Failure injection: crash and soft failure both requeue in-process
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_requeues_sccs_in_process(monkeypatch):
+    program = _program()
+    baseline = analyze_program(program)
+    monkeypatch.setenv(procpool.CRASH_ENV, "leaf_c")
+    with AnalysisService(
+        ServiceConfig(use_cache=False, executor="processes", max_workers=2)
+    ) as service:
+        types = service.analyze(program)
+    assert types.stats["worker_failed"] >= 1
+    assert any("leaf_c" in entry for entry in types.stats["requeued_sccs"])
+    # The typed stat also flows through the SolveStats record.
+    assert types.stage_seconds["worker_failed"] == types.stats["worker_failed"]
+    # Degradation is graceful: every result still byte-identical.
+    assert _canonical_bytes(types) == _canonical_bytes(baseline)
+
+
+def test_soft_worker_failure_requeues_without_killing_the_pool(monkeypatch):
+    program = _program()
+    baseline = analyze_program(program)
+    monkeypatch.setenv(procpool.FAIL_ENV, "leaf_d")
+    with AnalysisService(
+        ServiceConfig(use_cache=False, executor="processes", max_workers=2)
+    ) as service:
+        types = service.analyze(program)
+        pool = service._procpool
+        assert pool is not None and pool.pools_built == 1  # survived the exception
+        assert pool.chunks_failed >= 1
+    assert types.stats["worker_failed"] >= 1
+    assert _canonical_bytes(types) == _canonical_bytes(baseline)
+
+
+# ---------------------------------------------------------------------------
+# Codec: property-tested byte-identical round trips (no subprocesses)
+# ---------------------------------------------------------------------------
+
+_VARS = ["f", "g", "h"]
+_SUFFIXES = ["", ".load", ".store", ".load.sigma32@0", ".in_stack0", ".out_eax"]
+
+
+@st.composite
+def _typing_input(draw):
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        left = draw(st.sampled_from(_VARS)) + draw(st.sampled_from(_SUFFIXES))
+        right = draw(st.sampled_from(_VARS)) + draw(st.sampled_from(_SUFFIXES))
+        if left != right:
+            lines.append(f"{left} <= {right}")
+    formal_ins = tuple(
+        parse_dtv(f"f.in_stack{4 * index}")
+        for index in range(draw(st.integers(min_value=0, max_value=2)))
+    )
+    formal_outs = (parse_dtv("f.out_eax"),) if draw(st.booleans()) else ()
+    return ProcedureTypingInput(
+        name="f",
+        constraints=parse_constraints(lines),
+        formal_ins=formal_ins,
+        formal_outs=formal_outs,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(_typing_input())
+def test_input_codec_round_trip_is_byte_identical(proc):
+    encoded = json.dumps(procpool.encode_input(proc), sort_keys=True)
+    decoded = procpool.decode_input("f", json.loads(encoded))
+    assert decoded.constraints == proc.constraints
+    assert decoded.formal_ins == proc.formal_ins
+    assert decoded.formal_outs == proc.formal_outs
+    re_encoded = json.dumps(procpool.encode_input(decoded), sort_keys=True)
+    assert re_encoded == encoded
+
+
+@settings(max_examples=25, deadline=None)
+@given(_typing_input())
+def test_solve_scc_results_round_trip_byte_identical(proc):
+    """A solved SCC's summary survives the procpool codec byte-for-byte.
+
+    ``solve -> serialize -> (wire) -> deserialize -> re-serialize`` must be
+    the identity on the canonical JSON -- the exact property the parent
+    relies on when it admits worker payloads into the summary store.
+    """
+    lattice = ensure_lattice_tags(default_lattice())
+    solver = Solver(lattice, extern_schemes(standard_externs()), SolverConfig())
+    results = solver.solve_scc(["f"], {"f": proc}, {}, stats=SolveStats())
+    payload = serialize_summary(summarize_scc(["f"], results, {}))
+    wire = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    summary = deserialize_summary(json.loads(wire), lattice)
+    re_serialized = serialize_summary(
+        SCCSummary(members=summary.members, procedures=summary.procedures)
+    )
+    assert json.dumps(re_serialized, sort_keys=True, separators=(",", ":")) == wire
+
+    # And the decoded result is semantically the solved result.
+    rebuilt = summary.procedures["f"].to_result()
+    assert str(rebuilt.scheme) == str(results["f"].scheme)
+    assert {str(d): s.to_json() for d, s in rebuilt.formal_in_sketches.items()} == {
+        str(d): s.to_json() for d, s in results["f"].formal_in_sketches.items()
+    }
+
+
+def test_environment_codec_round_trips_lattice_and_externs():
+    lattice = ensure_lattice_tags(default_lattice())
+    lattice.add_element("HANDLE", ["uint"])
+    env_json = procpool.encode_environment(
+        lattice, standard_externs(), SolverConfig(), cache_dir=None
+    )
+    env = json.loads(env_json)
+    rebuilt = TypeLattice.from_json(env["lattice"])
+    assert rebuilt.fingerprint() == lattice.fingerprint()
+    # Canonical: encoding the rebuilt lattice is byte-identical.
+    assert json.dumps(rebuilt.to_json(), sort_keys=True) == json.dumps(
+        lattice.to_json(), sort_keys=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# The worker function, run in-process: disk-tier warm reuse
+# ---------------------------------------------------------------------------
+
+
+def test_worker_reuses_shared_disk_tier_without_resolving(tmp_path):
+    """A worker whose store already holds an SCC's key returns it verbatim."""
+    program = _program()
+    # Populate the shared disk tier with a serial cached run.
+    with AnalysisService(ServiceConfig(cache_dir=str(tmp_path))) as service:
+        service.analyze(program)
+        lattice = service.lattice
+        externs = service.extern_table
+        config = service.config.solver
+
+        inputs = generate_program_constraints(program, externs)
+        callgraph = CallGraph.from_typing_inputs(inputs)
+        sccs = callgraph.sccs_bottom_up()
+        keys = scc_summary_keys(
+            sccs,
+            callgraph.edges,
+            program_fingerprints(program),
+            environment_fingerprint(lattice, externs, config),
+        )
+
+    # Impersonate a worker in this process: same env, same disk tier.
+    env_json = procpool.encode_environment(lattice, externs, config, str(tmp_path))
+    procpool._init_worker(env_json)
+    leaf_sccs = [scc for scc in sccs if scc == ["leaf_a"] or scc == ["leaf_c"]]
+    task = procpool.encode_task(leaf_sccs, inputs, {}, keys)
+    reply = json.loads(procpool._worker_solve_chunk(task))
+    assert reply["pid"] == os.getpid()
+    for entry in reply["results"]:
+        assert entry["from_disk"], "expected a shared-disk-tier hit, not a re-solve"
+        assert entry["stats"]["sccs_timed"] == 0  # cache hits contribute no core work
+
+
+def test_worker_rejects_mismatched_task_format():
+    with pytest.raises(RuntimeError):
+        procpool._worker_solve_chunk(json.dumps({"format": "bogus", "sccs": []}))
+
+
+# ---------------------------------------------------------------------------
+# Executor selection and pool lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_choose_executor_by_workload_and_cpus():
+    wide = [[["p%d" % i] for i in range(32)]]
+    narrow = [[["a"], ["b"]], [["c"]]]
+    assert choose_executor(wide, cpu_count=1) == "serial"
+    assert choose_executor(wide, cpu_count=8) == "processes"
+    assert choose_executor(narrow, cpu_count=8) == "serial"
+    assert choose_executor([], cpu_count=8) == "serial"
+
+
+def test_unknown_executor_is_rejected():
+    with pytest.raises(ValueError):
+        AnalysisService(ServiceConfig(executor="fibers"))
+
+
+def test_environment_change_rebuilds_the_pool():
+    service = AnalysisService(ServiceConfig(use_cache=False, executor="processes"))
+    try:
+        first = service._ensure_procpool()
+        assert service._ensure_procpool() is first  # stable while env is stable
+        service.lattice.add_element("#Widget", ["int"])
+        second = service._ensure_procpool()
+        assert second is not first
+        assert second.env_json != first.env_json
+    finally:
+        service.close()
+        assert service._procpool is None
+        service.close()  # idempotent

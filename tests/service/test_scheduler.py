@@ -138,3 +138,45 @@ def test_schedule_stats_shape():
     assert as_stats["wave_count"] == 3
     assert as_stats["max_wave_width"] == 3
     assert abs(as_stats["mean_wave_width"] - 2.0) < 1e-9
+
+
+def test_executor_strategies_and_legacy_parallel_spelling():
+    import pytest as _pytest
+
+    assert WaveScheduler().executor == "serial"
+    assert WaveScheduler(parallel=True).executor == "threads"
+    assert WaveScheduler(executor="processes").parallel
+    with _pytest.raises(ValueError):
+        WaveScheduler(executor="fibers")
+
+
+def test_processes_without_a_remote_runner_degrades_to_serial():
+    waves = [[["a"], ["b"]], [["c"]]]
+    results, stats = WaveScheduler(executor="processes").run(
+        waves, lambda scc: scc[0].upper()
+    )
+    assert [r for _, r in results] == ["A", "B", "C"]
+    assert stats.executor == "serial" and not stats.parallel
+
+
+def test_remote_runner_drives_wide_waves_and_requeue_counts_surface():
+    class FakeRunner:
+        def __init__(self):
+            self.waves = []
+            self.worker_failed = 2
+            self.requeued_sccs = ["b"]
+
+        def solve_wave(self, wave, fallback):
+            self.waves.append([list(scc) for scc in wave])
+            return [(scc, fallback(scc), 0.0) for scc in wave]
+
+    runner = FakeRunner()
+    waves = [[["a"], ["b"]], [["c"]]]
+    results, stats = WaveScheduler(executor="processes").run(
+        waves, lambda scc: scc[0].upper(), remote=runner
+    )
+    # Wide wave went to the runner; the single-SCC wave stayed in-process.
+    assert runner.waves == [[["a"], ["b"]]]
+    assert [r for _, r in results] == ["A", "B", "C"]
+    assert stats.executor == "processes"
+    assert stats.worker_failed == 2 and stats.requeued_sccs == ["b"]
