@@ -1,0 +1,131 @@
+"""Generated-corpus throughput: the ``generated`` workload family end to end.
+
+The ground-truth generator (``repro.gen``) opens an effectively unbounded
+workload; this benchmark measures how fast the service chews through one
+seeded corpus -- generation, compilation, and ``analyze_corpus`` under each
+executor backend -- and verifies that every backend produces byte-identical
+results (the differential oracle's core invariant, measured here at corpus
+scale instead of per program).
+
+Run modes:
+
+* script (what CI's gen-smoke can use for a quick number)::
+
+      PYTHONPATH=src python benchmarks/bench_generated_corpus.py --count 40
+
+* pytest::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_generated_corpus.py -q
+
+Numbers land in ``benchmarks/results/generated_corpus.txt``.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+DEFAULT_COUNT = int(os.environ.get("REPRO_GEN_BENCH_COUNT", "40"))
+DEFAULT_SEED = 20160613
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _corpus(count, seed, profile_name):
+    from repro.gen import generate_corpus, named_profiles
+
+    generate_start = time.perf_counter()
+    programs = generate_corpus(count, seed, named_profiles()[profile_name])
+    generate_seconds = time.perf_counter() - generate_start
+
+    compile_start = time.perf_counter()
+    compiled = {program.name: program.compile().program for program in programs}
+    compile_seconds = time.perf_counter() - compile_start
+    return programs, compiled, generate_seconds, compile_seconds
+
+
+def _run_backend(compiled, executor):
+    from repro.gen import result_fingerprint
+    from repro.service import AnalysisService, ServiceConfig, analyze_corpus
+
+    service = AnalysisService(ServiceConfig(use_cache=True, executor=executor))
+    try:
+        start = time.perf_counter()
+        report = analyze_corpus(compiled, service=service)
+        elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+    fingerprints = {
+        name: result_fingerprint(entry.types) for name, entry in report.reports.items()
+    }
+    return elapsed, report, fingerprints
+
+
+def run(count, seed, profile_name, write=True):
+    programs, compiled, generate_seconds, compile_seconds = _corpus(
+        count, seed, profile_name
+    )
+    total_functions = sum(len(program.functions) for program in programs)
+
+    lines = [
+        "Generated-corpus throughput (repro.gen -> analyze_corpus per backend)",
+        "",
+        f"corpus: {count} programs / {total_functions} functions "
+        f"(seed {seed}, profile {profile_name!r})",
+        f"generate {generate_seconds:.3f}s, compile {compile_seconds:.3f}s",
+        "",
+        f"{'backend':>10} {'seconds':>8} {'prog/s':>8} {'hit_rate':>8}",
+    ]
+    reference = None
+    timings = {}
+    for backend in BACKENDS:
+        elapsed, report, fingerprints = _run_backend(compiled, backend)
+        timings[backend] = elapsed
+        if reference is None:
+            reference = fingerprints
+        else:
+            mismatched = [name for name in reference if fingerprints[name] != reference[name]]
+            assert not mismatched, (
+                f"backend {backend!r} diverged from serial on: {mismatched[:5]}"
+            )
+        lines.append(
+            f"{backend:>10} {elapsed:>8.3f} {count / elapsed:>8.1f} "
+            f"{report.hit_rate:>8.0%}"
+        )
+
+    lines += [
+        "",
+        f"all {len(BACKENDS)} backends byte-identical over {count} programs",
+    ]
+    report_text = "\n".join(lines)
+    print(report_text)
+    if write:
+        from conftest import write_result
+
+        write_result("generated_corpus.txt", report_text)
+    return timings
+
+
+def test_generated_corpus_backends_identical():
+    """Small pytest entry: every backend identical on a quick corpus."""
+    run(12, DEFAULT_SEED, "smoke", write=False)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--profile", choices=["smoke", "default", "stress"], default="smoke"
+    )
+    args = parser.parse_args(argv)
+    run(args.count, args.seed, args.profile)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,10 @@ server uses, so dumps produced here are byte-compatible with what a server
 returns for the same source -- a saved ``--json`` file *is* a valid ``query``
 result.
 
+``python -m repro gen ...`` drives the ground-truth program generator: emit
+a seeded corpus to disk (``--out``) and/or run the differential oracle sweep
+across executor backends and cache states (``--oracle``); see ``repro.gen``.
+
 ``python -m repro serve ...`` is a convenience alias for
 ``python -m repro.server ...``.
 """
@@ -84,6 +88,53 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gen(args: argparse.Namespace) -> int:
+    from .gen import generate_corpus, named_profiles, run_oracle, write_corpus
+
+    profiles = named_profiles()
+    profile = profiles[args.profile]
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+
+    status = 0
+    corpus = None
+    if args.out:
+        corpus = generate_corpus(args.count, args.seed, profile)
+        manifest = write_corpus(corpus, args.out)
+        total = sum(len(program.functions) for program in corpus)
+        print(
+            f"wrote {len(corpus)} programs ({total} functions) to {args.out} "
+            f"(manifest: {manifest})"
+        )
+    if args.oracle:
+        def progress(done: int, total: int) -> None:
+            if done % 50 == 0 or done == total:
+                print(f"  ... {done}/{total} programs checked", file=sys.stderr)
+
+        report = run_oracle(
+            count=args.count,
+            seed=args.seed,
+            profile=profile,
+            profile_name=args.profile,
+            backends=backends,
+            derives_samples=args.derives_samples,
+            min_conservativeness=args.min_conservativeness,
+            progress=progress if not args.quiet else None,
+            corpus=corpus,
+        )
+        print(report.summary())
+        status = 0 if report.ok else 1
+    if not args.out and not args.oracle:
+        for program in generate_corpus(args.count, args.seed, profile):
+            print(
+                f"{program.name}: seed {program.seed}, "
+                f"{len(program.functions)} functions "
+                f"({len(program.dead_functions)} dead), "
+                f"{len(program.source.splitlines())} lines"
+            )
+        print("(use --out DIR to write sources+answer keys, --oracle to verify)")
+    return status
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .server.__main__ import main as serve_main
 
@@ -116,6 +167,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--procedure", default=None, help="restrict output to one procedure"
     )
     analyze.set_defaults(func=cmd_analyze)
+
+    gen = sub.add_parser(
+        "gen",
+        help="generate ground-truth mini-C corpora and run the differential oracle",
+    )
+    gen.add_argument("--count", type=int, default=10, help="number of programs")
+    gen.add_argument("--seed", type=int, default=20160613, help="corpus seed")
+    gen.add_argument(
+        "--profile",
+        choices=["smoke", "default", "stress"],
+        default="default",
+        help="feature-mix preset (see repro.gen.GenProfile)",
+    )
+    gen.add_argument("--out", default=None, help="emit .c sources + answer keys here")
+    gen.add_argument(
+        "--oracle",
+        action="store_true",
+        help="run the differential oracle sweep (exit 1 on any mismatch)",
+    )
+    gen.add_argument(
+        "--backends",
+        default="serial,threads,processes,auto",
+        help="comma-separated executor backends for the oracle sweep",
+    )
+    gen.add_argument(
+        "--derives-samples",
+        type=int,
+        default=1,
+        help="constraint sets per program checked against the seed oracles (0 disables)",
+    )
+    gen.add_argument(
+        "--min-conservativeness",
+        type=float,
+        default=0.85,
+        help="per-program conservativeness floor for the oracle",
+    )
+    gen.add_argument("--quiet", action="store_true", help="suppress progress output")
+    gen.set_defaults(func=cmd_gen)
 
     serve = sub.add_parser(
         "serve", help="run the type-query server (alias for python -m repro.server)"

@@ -321,10 +321,61 @@ def sketch_conservative(
         return True
 
     if isinstance(resolved, (IntType, BoolType, FloatType)):
-        if load_child is not None or store_child is not None or field_children:
+        if load_child is not None or store_child is not None:
             return False
+        size_bits = resolved.size_bits or 32
+        for label, child in field_children.items():
+            # A field view that fits inside the scalar is a view of the cell
+            # itself (``sigma8@0`` over a ``char`` cell is exactly the char);
+            # fields before the cell, past its end, or wider than it claim
+            # something false.  Same-size views recurse with the scalar truth
+            # (atom bounds included); narrower views are checked structurally
+            # -- claiming pointer capabilities for a slice of a scalar is
+            # still false, but the slice's signedness is not knowable, so its
+            # atom bounds are not judged.
+            offset = getattr(label, "offset", 0)
+            field_bits = getattr(label, "size_bits", None) or size_bits
+            if offset < 0 or offset * 8 + field_bits > size_bits:
+                return False
+            if field_bits == size_bits:
+                if not sketch_conservative(
+                    sketch, resolved, truth_structs, child, depth + 1, visiting
+                ):
+                    return False
+            elif not _scalar_slice_structure_ok(sketch, child, field_bits):
+                return False
         return bounds_compatible(_atom_for_scalar(resolved))
 
+    return True
+
+
+def _scalar_slice_structure_ok(
+    sketch: Sketch,
+    node: int,
+    size_bits: int,
+    depth: int = 0,
+    visiting: Optional[set] = None,
+) -> bool:
+    """May ``node`` describe a ``size_bits``-wide slice of a scalar cell?
+
+    True only when the subtree asserts no pointer structure (no load/store
+    capability anywhere) and every nested field view stays inside the slice.
+    """
+    if visiting is None:
+        visiting = set()
+    if depth > 5 or node in visiting:
+        return True
+    visiting.add(node)
+    for label, child in sketch.successors(node).items():
+        text = str(label)
+        if text in ("load", "store"):
+            return False
+        offset = getattr(label, "offset", 0)
+        field_bits = getattr(label, "size_bits", None) or size_bits
+        if offset < 0 or offset * 8 + field_bits > size_bits:
+            return False
+        if not _scalar_slice_structure_ok(sketch, child, field_bits, depth + 1, visiting):
+            return False
     return True
 
 

@@ -16,11 +16,20 @@ is interesting for:
 
 Everything is deterministic given the seed, so every figure regenerates
 identically.
+
+Relationship to :mod:`repro.gen`: the profile-driven generator there is the
+maintained, feature-complete source of ground-truth programs (trees,
+multi-level pointers, handler slots, mutual recursion, dead code) and backs
+the open-ended ``generated`` family below; the :class:`SourceGenerator`
+templates in this module are deliberately frozen so the *fixed* figure suites
+stay byte-stable against the recorded ``benchmarks/results/`` numbers.  New
+idioms belong in ``repro.gen``, not here.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -503,7 +512,11 @@ def standard_suite(scale: float = 1.0, seed: int = 20160613) -> List[Workload]:
         ("sjeng", 22),
         ("hmmer", 30),
     ]:
-        suite.append(make_workload(name, scaled(functions), seed + hash(name) % 1000))
+        # crc32, not hash(): the per-name seed (and therefore the workload's
+        # *content*) must not vary with PYTHONHASHSEED across processes --
+        # the same latent sensitivity the process backend forced out of the
+        # constraint-graph core.
+        suite.append(make_workload(name, scaled(functions), seed + zlib.crc32(name.encode()) % 1000))
     return suite
 
 
@@ -515,3 +528,36 @@ def scaling_suite(
         make_workload(f"scale_{n}", n, seed + n)
         for n in sizes
     ]
+
+
+def generated_suite(
+    count: int = 8,
+    seed: int = 20160615,
+    profile: Optional[object] = None,
+    cluster: str = "generated",
+) -> List[Workload]:
+    """The ``generated`` workload family: profile-driven ground-truth programs.
+
+    Unlike the fixed figure suites above, this family is backed by
+    :mod:`repro.gen` -- an effectively unbounded, seed-reproducible source of
+    programs with recursive structs, multi-level pointers, handler slots,
+    const parameters, deep and mutually-recursive call graphs, dead code and
+    polymorphic helpers.  Every workload carries the generator's answer key
+    as its ground truth, so the whole evaluation harness (engines, metrics,
+    figures) runs over it unchanged.
+    """
+    from ..gen import GenProfile, generate_corpus
+
+    resolved = profile if profile is not None else GenProfile.default()
+    workloads = []
+    for program in generate_corpus(count, seed, resolved, name_prefix=f"{cluster}_"):
+        compilation = program.compile()
+        workloads.append(
+            Workload(
+                name=program.name,
+                cluster=cluster,
+                source=program.source,
+                compilation=compilation,
+            )
+        )
+    return workloads

@@ -1,0 +1,368 @@
+"""Differential oracle harness over generated corpora.
+
+For every program of a seeded generated corpus the harness asserts, across
+every executor backend and cache state, that the analysis is *one function*:
+
+* **backend identity** -- ``analyze_program`` through the serial, threads,
+  processes and auto executors produces byte-identical results (canonical
+  JSON of the typed surface, timings excluded);
+* **cache identity** -- a cold cache-backed run, a warm re-run (which must
+  perform zero SCC solves), and an incremental re-analysis after a generated
+  edit each reproduce the reference result byte-for-byte, and the edit's
+  invalidation cone contains the edited function;
+* **conservativeness** -- the inferred types score at least
+  ``min_conservativeness`` against the generator's ground-truth answer key
+  under :func:`repro.eval.metrics.evaluate_program` (the paper's section 6.3
+  property, thresholded because stack-aliasing imprecision is expected);
+* **derives agreement** -- on sampled per-procedure constraint sets, the
+  production :func:`~repro.core.simplify.simplify_constraints` output is a
+  superset of the retained seed oracle ``naive_simplify_constraints``
+  (``tests/core/naive_reference.py``), and every extra judgement is provable
+  on the saturated graph (:func:`repro.core.proves`).
+
+Any violation is recorded as an :class:`OracleMismatch`; a sweep passes only
+when there are none.  The whole sweep is reproducible from ``(seed, profile,
+count)`` -- the report's ``summary()`` prints the exact CLI line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import proves, simplify_constraints
+from ..eval.metrics import evaluate_program
+from ..service import AnalysisService, IncrementalSession, ServiceConfig
+from ..typegen.abstract_interp import generate_program_constraints
+from .generator import GeneratedProgram, generate_corpus, generate_edit
+from .profile import GenProfile
+
+#: every executor strategy the service accepts, in check order.
+ALL_BACKENDS = ("serial", "threads", "processes", "auto")
+
+#: procedures whose constraint sets exceed this are not sampled for the
+#: naive-reference comparison (the seed DFS is exponential-ish by design).
+MAX_DERIVES_CONSTRAINTS = 90
+
+
+def result_fingerprint(types) -> str:
+    """A canonical digest of the typed surface of one analysis.
+
+    Covers everything a client can observe -- per-procedure payloads, the
+    program-wide struct table and the rendered report -- and excludes ``stats``
+    (timings and scheduling differ across backends by construction).
+    """
+    payload = types.to_json()
+    payload.pop("stats", None)
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def load_naive_reference():
+    """The retained seed algorithms (``tests/core/naive_reference.py``).
+
+    They live with the tests, not the package, so installed copies may not
+    have them; returns ``None`` in that case and the derives check is skipped
+    (and reported as skipped, never silently).  ``REPRO_NAIVE_REFERENCE``
+    overrides the search path.
+    """
+    candidates = []
+    override = os.environ.get("REPRO_NAIVE_REFERENCE")
+    if override:
+        candidates.append(override)
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates.append(
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(here))),
+            "tests",
+            "core",
+            "naive_reference.py",
+        )
+    )
+    for path in candidates:
+        if os.path.isfile(path):
+            spec = importlib.util.spec_from_file_location("naive_reference", path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            return module
+    return None
+
+
+@dataclass
+class OracleMismatch:
+    program: str
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.program}: [{self.check}] {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential sweep."""
+
+    seed: int
+    profile: GenProfile
+    profile_name: str
+    backends: Tuple[str, ...]
+    programs: int = 0
+    derives_samples: int = 1
+    min_conservativeness: float = 0.85
+    #: check name -> number of times it ran (one count per program+backend).
+    checks: Dict[str, int] = dc_field(default_factory=dict)
+    mismatches: List[OracleMismatch] = dc_field(default_factory=list)
+    skipped: List[str] = dc_field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def count(self, check: str) -> None:
+        self.checks[check] = self.checks.get(check, 0) + 1
+
+    def summary(self) -> str:
+        lines = [
+            f"oracle sweep: {self.programs} programs, seed {self.seed}, "
+            f"profile {self.profile_name!r}, backends {'/'.join(self.backends)}",
+            f"  reproduce: python -m repro gen --oracle --count {self.programs} "
+            f"--seed {self.seed} --profile {self.profile_name} "
+            f"--backends {','.join(self.backends)} "
+            f"--derives-samples {self.derives_samples} "
+            f"--min-conservativeness {self.min_conservativeness}",
+        ]
+        for check in sorted(self.checks):
+            lines.append(f"  {check:<24} {self.checks[check]:>6} checks")
+        for note in self.skipped:
+            lines.append(f"  skipped: {note}")
+        if self.mismatches:
+            lines.append(f"  MISMATCHES: {len(self.mismatches)}")
+            for mismatch in self.mismatches[:20]:
+                lines.append(f"    {mismatch}")
+            if len(self.mismatches) > 20:
+                lines.append(f"    ... and {len(self.mismatches) - 20} more")
+        else:
+            lines.append(
+                f"  zero mismatches in {self.elapsed_seconds:.1f}s "
+                f"({self.elapsed_seconds / max(1, self.programs) * 1000:.0f} ms/program)"
+            )
+        return "\n".join(lines)
+
+
+def run_oracle(
+    count: int,
+    seed: int,
+    profile: Optional[GenProfile] = None,
+    profile_name: str = "default",
+    backends: Sequence[str] = ALL_BACKENDS,
+    derives_samples: int = 1,
+    min_conservativeness: float = 0.85,
+    progress: Optional[Callable[[int, int], None]] = None,
+    corpus: Optional[List[GeneratedProgram]] = None,
+) -> OracleReport:
+    """Run the differential oracle over ``count`` generated programs.
+
+    ``corpus`` lets a caller that already generated the corpus (the CLI's
+    combined ``--out --oracle`` mode) reuse it instead of regenerating; it
+    must be the ``generate_corpus(count, seed, profile)`` corpus for the
+    other arguments, which stay authoritative for the reproduce line.
+    """
+    profile = profile or GenProfile.default()
+    backends = tuple(backends)
+    report = OracleReport(
+        seed=seed,
+        profile=profile,
+        profile_name=profile_name,
+        backends=backends,
+        derives_samples=derives_samples,
+        min_conservativeness=min_conservativeness,
+    )
+    naive = load_naive_reference() if derives_samples > 0 else None
+    if derives_samples > 0 and naive is None:
+        report.skipped.append(
+            "derives-agreement (tests/core/naive_reference.py not found; "
+            "set REPRO_NAIVE_REFERENCE)"
+        )
+
+    start = time.perf_counter()
+    reference = AnalysisService(ServiceConfig(use_cache=False))
+    backend_services = {
+        backend: AnalysisService(ServiceConfig(use_cache=False, executor=backend))
+        for backend in backends
+        if backend != "serial"
+    }
+    cache_service = AnalysisService(ServiceConfig(use_cache=True))
+    rng = random.Random(seed)
+    try:
+        if corpus is None:
+            corpus = generate_corpus(count, seed, profile)
+        for index, program in enumerate(corpus):
+            _check_program(
+                program,
+                report,
+                reference,
+                backend_services,
+                cache_service,
+                naive,
+                derives_samples,
+                min_conservativeness,
+                rng,
+            )
+            report.programs += 1
+            if progress is not None:
+                progress(index + 1, count)
+    finally:
+        reference.close()
+        cache_service.close()
+        for service in backend_services.values():
+            service.close()
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _check_program(
+    program: GeneratedProgram,
+    report: OracleReport,
+    reference: AnalysisService,
+    backend_services: Dict[str, AnalysisService],
+    cache_service: AnalysisService,
+    naive,
+    derives_samples: int,
+    min_conservativeness: float,
+    rng: random.Random,
+) -> None:
+    from ..frontend import compile_c
+
+    comp = program.compile()
+    ref_types = reference.analyze(comp.program)
+    ref_fp = result_fingerprint(ref_types)
+
+    # -- (a) backend identity ---------------------------------------------------
+    for backend, service in backend_services.items():
+        report.count(f"backend:{backend}")
+        fp = result_fingerprint(service.analyze(comp.program))
+        if fp != ref_fp:
+            report.mismatches.append(
+                OracleMismatch(
+                    program.name,
+                    f"backend:{backend}",
+                    f"result differs from serial reference (seed {program.seed})",
+                )
+            )
+
+    # -- (b) cache states -------------------------------------------------------
+    session = IncrementalSession(cache_service)
+    report.count("cache:cold")
+    cold = session.analyze(comp.program)
+    if result_fingerprint(cold) != ref_fp:
+        report.mismatches.append(
+            OracleMismatch(
+                program.name, "cache:cold", f"cold cached run differs (seed {program.seed})"
+            )
+        )
+    report.count("cache:warm")
+    warm = session.analyze(comp.program)
+    if result_fingerprint(warm) != ref_fp:
+        report.mismatches.append(
+            OracleMismatch(
+                program.name, "cache:warm", f"warm re-run differs (seed {program.seed})"
+            )
+        )
+    if warm.stats.get("sccs_solved", -1) != 0:
+        report.mismatches.append(
+            OracleMismatch(
+                program.name,
+                "cache:warm",
+                f"warm re-run solved {warm.stats.get('sccs_solved')} SCCs, expected 0",
+            )
+        )
+
+    report.count("cache:incremental")
+    edit = generate_edit(program, edit_seed=program.seed)
+    edited_comp = compile_c(edit.source)
+    incremental = session.analyze(edited_comp.program)
+    fresh = reference.analyze(edited_comp.program)
+    if result_fingerprint(incremental) != result_fingerprint(fresh):
+        report.mismatches.append(
+            OracleMismatch(
+                program.name,
+                "cache:incremental",
+                f"incremental re-analysis after editing {edit.function!r} differs "
+                f"from a fresh analysis (seed {program.seed})",
+            )
+        )
+    invalidated = incremental.stats.get("invalidated_procedures", [])
+    if edit.function not in invalidated:
+        report.mismatches.append(
+            OracleMismatch(
+                program.name,
+                "cache:incremental",
+                f"edited {edit.function!r} missing from invalidation cone {invalidated}",
+            )
+        )
+
+    # -- (c) conservativeness vs. ground truth ---------------------------------
+    report.count("conservativeness")
+    metrics = evaluate_program(program.name, ref_types, comp.ground_truth)
+    if metrics.conservativeness < min_conservativeness:
+        offenders = [
+            f"{c.function}/{c.location}: {c.inferred} vs truth {c.truth}"
+            for c in metrics.comparisons
+            if not c.conservative
+        ]
+        report.mismatches.append(
+            OracleMismatch(
+                program.name,
+                "conservativeness",
+                f"{metrics.conservativeness:.2f} < {min_conservativeness:.2f} "
+                f"(seed {program.seed}): " + "; ".join(offenders[:3]),
+            )
+        )
+
+    # -- (d) derives agreement with the seed oracles ----------------------------
+    if naive is None or derives_samples <= 0:
+        return
+    inputs = generate_program_constraints(comp.program)
+    known = set(comp.program.procedures)
+    eligible = [
+        name
+        for name in inputs
+        if len(inputs[name].constraints) <= MAX_DERIVES_CONSTRAINTS
+    ]
+    for name in rng.sample(eligible, min(derives_samples, len(eligible))):
+        report.count("derives")
+        constraints = inputs[name].constraints
+        bases = {dtv.base for c in constraints for dtv in (c.left, c.right)}
+        interesting = sorted(bases & (known | {name}))
+        if not interesting:
+            continue
+        fast = set(simplify_constraints(constraints, interesting).subtype)
+        slow = set(naive.naive_simplify_constraints(constraints, interesting).subtype)
+        if not slow <= fast:
+            report.mismatches.append(
+                OracleMismatch(
+                    program.name,
+                    "derives",
+                    f"{name}: worklist simplification lost "
+                    f"{len(slow - fast)} seed judgements (seed {program.seed})",
+                )
+            )
+            continue
+        for extra in sorted(fast - slow, key=str):
+            if not proves(constraints, extra):
+                report.mismatches.append(
+                    OracleMismatch(
+                        program.name,
+                        "derives",
+                        f"{name}: unprovable extra judgement {extra} "
+                        f"(seed {program.seed})",
+                    )
+                )
+                break

@@ -1,0 +1,97 @@
+"""Tunable feature-mix and scale knobs for the ground-truth program generator.
+
+A :class:`GenProfile` describes *what kind* of mini-C programs
+:func:`repro.gen.generate_program` manufactures: how many structs and
+functions, how much of the corpus is recursive linked structure versus flat
+integer logic, whether multi-level pointers / handler ("function pointer")
+idioms / const parameters / deep call chains / mutual recursion / dead code /
+polymorphic helpers appear, and at what rates.  Profiles are plain frozen
+dataclasses so they hash and compare by value and can be embedded in test
+parametrizations; three named presets (``smoke``, ``default``, ``stress``)
+cover the common scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GenProfile:
+    """Feature mix and scale of one generated program."""
+
+    #: number of generated struct types.
+    n_structs: int = 3
+    #: target number of generated library functions (before chains/drivers).
+    n_functions: int = 10
+    #: fraction of structs that carry a recursive ``next`` link (linked lists).
+    recursive_struct_ratio: float = 0.5
+    #: fraction of *recursive* structs that are binary trees (``left``/``right``).
+    tree_struct_ratio: float = 0.34
+    #: probability of emitting multi-level pointer helpers (``T **`` parameters).
+    multi_level_pointer_weight: float = 0.5
+    #: probability of emitting the handler-registration idiom: a ``void *``
+    #: callback parameter stored into a struct slot and registered through the
+    #: modelled ``signal`` extern.  (The mini-C frontend has no function-pointer
+    #: *syntax*; at the machine-code level this is exactly how code pointers of
+    #: unknown interface appear to the analysis.)
+    function_pointer_weight: float = 0.4
+    #: probability that a read-only pointer parameter is declared ``const``.
+    const_ratio: float = 0.75
+    #: length of the deep single-call chain (0 disables; each link is its own
+    #: SCC, so this directly deepens the condensation DAG).
+    call_chain_depth: int = 3
+    #: number of mutually-recursive function pairs (each pair is one
+    #: multi-procedure SCC).
+    mutual_recursion_pairs: int = 1
+    #: number of never-called procedures appended to the unit.
+    dead_functions: int = 1
+    #: probability that constructors allocate through a shared ``xmalloc``-like
+    #: wrapper (one procedure re-used at several pointer types -- the paper's
+    #: section 2.2 polymorphism idiom).
+    polymorphic_weight: float = 0.75
+    #: number of driver functions calling a random sample of the library.
+    drivers: int = 1
+
+    # -- named presets -----------------------------------------------------------
+
+    @classmethod
+    def smoke(cls) -> "GenProfile":
+        """Small programs for high-count differential sweeps (CI gen-smoke)."""
+        return cls(n_structs=2, n_functions=6, call_chain_depth=2, drivers=1)
+
+    @classmethod
+    def default(cls) -> "GenProfile":
+        return cls()
+
+    @classmethod
+    def stress(cls) -> "GenProfile":
+        """Larger programs with every feature dialled up."""
+        return cls(
+            n_structs=6,
+            n_functions=28,
+            multi_level_pointer_weight=0.8,
+            function_pointer_weight=0.6,
+            call_chain_depth=6,
+            mutual_recursion_pairs=2,
+            dead_functions=3,
+            drivers=3,
+        )
+
+    def scaled(self, factor: float) -> "GenProfile":
+        """A copy with struct/function counts multiplied by ``factor``."""
+        return replace(
+            self,
+            n_structs=max(1, int(self.n_structs * factor)),
+            n_functions=max(2, int(self.n_functions * factor)),
+        )
+
+
+def named_profiles() -> Dict[str, GenProfile]:
+    """The presets the CLI and CI address by name."""
+    return {
+        "smoke": GenProfile.smoke(),
+        "default": GenProfile.default(),
+        "stress": GenProfile.stress(),
+    }

@@ -140,6 +140,60 @@ def test_sketch_field_beyond_struct_is_not_conservative():
     assert not sketch_conservative(sketch, PointerType(StructRef("node")), STRUCTS)
 
 
+def test_sketch_byte_field_view_of_char_cell_is_conservative():
+    # Regression (first generated-corpus oracle sweep): a ``const char *``
+    # parameter whose sketch was exactly ``load -> sigma8@0`` with
+    # unconstrained bounds -- i.e. inferred *identical* to the truth -- was
+    # judged non-conservative, because any sigma child on a scalar pointee was
+    # treated as a false struct claim.  An offset-0 field view that fits the
+    # cell is the cell.
+    sketch = _sketch()
+    pointee = sketch.add_node()
+    sketch.add_edge(sketch.root, LOAD, pointee)
+    sketch.add_edge(pointee, field(8, 0), sketch.add_node())
+    assert sketch_conservative(sketch, PointerType(CHAR, const=True))
+
+
+def test_sketch_field_wider_than_scalar_cell_is_not_conservative():
+    sketch = _sketch()
+    pointee = sketch.add_node()
+    sketch.add_edge(sketch.root, LOAD, pointee)
+    sketch.add_edge(pointee, field(32, 0), sketch.add_node())
+    assert not sketch_conservative(sketch, PointerType(CHAR, const=True))
+
+
+def test_sketch_field_past_scalar_cell_is_not_conservative():
+    sketch = _sketch()
+    pointee = sketch.add_node()
+    sketch.add_edge(sketch.root, LOAD, pointee)
+    sketch.add_edge(pointee, field(32, 4), sketch.add_node())
+    assert not sketch_conservative(sketch, PointerType(INT))
+
+
+def test_sketch_field_before_scalar_cell_is_not_conservative():
+    # Negative offsets (pre-frame stack slots) lie outside the cell just as
+    # past-the-end offsets do; the struct branch already rejects them.
+    sketch = _sketch()
+    pointee = sketch.add_node()
+    sketch.add_edge(sketch.root, LOAD, pointee)
+    sketch.add_edge(pointee, field(8, -4), sketch.add_node())
+    assert not sketch_conservative(sketch, PointerType(CHAR, const=True))
+
+
+def test_sketch_pointer_claim_inside_scalar_slice_is_not_conservative():
+    # A narrower in-bounds field view of a scalar is fine -- but only as long
+    # as it stays scalar: asserting a load capability on the low byte of an
+    # int claims the byte is a pointer, which is false.
+    sketch = _sketch()
+    pointee = sketch.add_node()
+    slice_node = sketch.add_node()
+    sketch.add_edge(sketch.root, LOAD, pointee)
+    sketch.add_edge(pointee, field(8, 0), slice_node)
+    assert sketch_conservative(sketch, PointerType(INT))  # plain slice: fine
+    sketch.add_edge(slice_node, LOAD, sketch.add_node())
+    assert not sketch_conservative(sketch, PointerType(INT))
+
+
 # -- pointer accuracy ----------------------------------------------------------------------------
 
 

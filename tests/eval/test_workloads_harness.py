@@ -147,3 +147,41 @@ def test_measure_scaling_produces_monotone_sizes():
     assert len(points) == 2
     assert points[0].instructions < points[1].instructions
     assert all(p.seconds >= 0 for p in points)
+
+def test_standard_suite_is_stable_across_hash_seeds():
+    """Regression (generated-corpus sweep era): per-name workload seeds used
+    ``hash(name)``, so the *content* of the figure suites varied with
+    ``PYTHONHASHSEED`` -- the same latent sensitivity the process backend
+    forced out of the constraint-graph core in the PR-4 fixes.  crc32 makes
+    the suite byte-identical in every interpreter."""
+    import hashlib
+    import os
+    import subprocess
+    import sys
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    script = (
+        "import hashlib\n"
+        "from repro.eval.workloads import standard_suite\n"
+        "digest = hashlib.sha256()\n"
+        "for workload in standard_suite(scale=0.25):\n"
+        "    digest.update(workload.name.encode())\n"
+        "    digest.update(workload.source.encode())\n"
+        "print(digest.hexdigest())\n"
+    )
+    digests = set()
+    for hashseed in ("0", "31337"):
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=repo_root,
+            env={
+                "PYTHONHASHSEED": hashseed,
+                "PYTHONPATH": os.path.join(repo_root, "src"),
+                "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            },
+        )
+        digests.add(out.stdout.strip())
+    assert len(digests) == 1, "standard_suite content varies with PYTHONHASHSEED"

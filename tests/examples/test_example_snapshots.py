@@ -1,0 +1,81 @@
+"""Golden snapshot tests for the examples' printed output.
+
+``examples/corpus_service.py`` and ``examples/type_server.py`` double as
+living documentation of the service and server subsystems; until now only CI
+smoke ran them, so a drifting print or a renamed stat silently rotted the
+walkthroughs.  Each test runs the script exactly as a user would and compares
+its stdout -- with run-varying tokens (timings, ports, content hashes)
+normalized away -- against a golden file in ``tests/examples/golden/``.
+
+To refresh after an intentional output change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/examples -q
+
+and commit the updated golden files with the change that caused them.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+_NORMALIZATIONS = [
+    (re.compile(r"\b[0-9a-f]{8,}\b"), "<HEX>"),          # content hashes, session ids
+    (re.compile(r"\bport \d+\b"), "port <PORT>"),
+    (re.compile(r"\d+\.\d+"), "<F>"),                      # all timings/ratios
+]
+
+
+def _normalize(text: str) -> str:
+    for pattern, replacement in _NORMALIZATIONS:
+        text = pattern.sub(replacement, text)
+    return text.rstrip() + "\n"
+
+
+def _run_example(script: str) -> str:
+    out = subprocess.run(
+        [sys.executable, os.path.join("examples", script)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+        env={
+            "PYTHONPATH": os.path.join(REPO_ROOT, "src"),
+            "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            "PYTHONHASHSEED": "0",
+        },
+    )
+    assert out.returncode == 0, f"{script} failed:\n{out.stdout}\n{out.stderr}"
+    return _normalize(out.stdout)
+
+
+def _check_golden(script: str, name: str) -> None:
+    actual = _run_example(script)
+    golden_path = os.path.join(GOLDEN_DIR, name)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(golden_path, "w", encoding="utf-8") as handle:
+            handle.write(actual)
+        pytest.skip(f"regenerated {golden_path}")
+    assert os.path.exists(golden_path), (
+        f"golden file {golden_path} missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    with open(golden_path, "r", encoding="utf-8") as handle:
+        expected = handle.read()
+    assert actual == expected, (
+        f"{script} output drifted from its golden snapshot; if intentional, "
+        f"refresh with REPRO_REGEN_GOLDEN=1 and commit the new golden file"
+    )
+
+
+def test_corpus_service_example_matches_golden():
+    _check_golden("corpus_service.py", "corpus_service.txt")
+
+
+def test_type_server_example_matches_golden():
+    _check_golden("type_server.py", "type_server.txt")

@@ -540,3 +540,21 @@ def test_process_backend_server_serves_worker_stats():
             assert pool["max_workers"] == 2
             assert pool["chunks_dispatched"] >= 1
             assert pool["workers"], "pool-level per-worker stats missing"
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "processes", "auto"])
+def test_happy_path_identical_under_every_backend(backend, suite, expected):
+    """The analyze -> query happy path, byte-identical whichever wave backend
+    the daemon was started with (so backend regressions surface in tier-1)."""
+    workload = suite[-1]
+    reference = expected[workload.name]
+    with running_server(backend=backend) as (host, port, _):
+        with TypeQueryClient(host, port) as client:
+            result = client.analyze(str(workload.program), kind="asm")
+            assert result["signatures"] == {
+                name: reference.signature(name) for name in sorted(reference.functions)
+            }
+            program_id = result["program_id"]
+            remote = client.query(program_id)
+            local = protocol.program_payload(reference, program_id)
+            assert canonical(remote) == canonical(local)

@@ -3,6 +3,10 @@
 These tests exercise the whole reproduction exactly the way the evaluation
 does: compile a program (recording ground truth), throw the types away, run
 Retypd on the machine code, and compare what comes back.
+
+Every test runs once per executor backend (serial, threads, processes,
+auto), so a regression in any wave-dispatch strategy -- not just the default
+-- surfaces in tier-1.
 """
 
 import pytest
@@ -10,6 +14,8 @@ import pytest
 from repro import analyze_program
 from repro.core.ctype import IntType, PointerType, StructRef, StructType, TypedefType
 from repro.frontend import compile_c
+from repro.service import AnalysisService, ServiceConfig
+from repro.service.scheduler import EXECUTORS
 
 
 LINKED_LIST = """
@@ -79,13 +85,24 @@ void use_config(struct config * c) {
 """
 
 
-def _analyze(source):
+@pytest.fixture(scope="module", params=EXECUTORS)
+def backend_service(request):
+    """One analysis service per executor strategy, shared across the module
+    (the process pool stays warm instead of respawning per test)."""
+    service = AnalysisService(ServiceConfig(use_cache=False, executor=request.param))
+    yield service
+    service.close()
+
+
+def _analyze(source, service=None):
     result = compile_c(source)
-    return result, analyze_program(result.program)
+    if service is None:
+        return result, analyze_program(result.program)
+    return result, analyze_program(result.program, service=service)
 
 
-def test_linked_list_end_to_end():
-    result, types = _analyze(LINKED_LIST)
+def test_linked_list_end_to_end(backend_service):
+    result, types = _analyze(LINKED_LIST, backend_service)
     info = types["close_last"]
     assert len(info.function_type.params) == 1
     param = info.param_type(0)
@@ -101,8 +118,8 @@ def test_linked_list_end_to_end():
     assert isinstance(info.return_type, (IntType, TypedefType))
 
 
-def test_polymorphic_allocator_wrapper():
-    result, types = _analyze(ALLOCATOR)
+def test_polymorphic_allocator_wrapper(backend_service):
+    result, types = _analyze(ALLOCATOR, backend_service)
     assert set(types.functions) == {"xmalloc", "push_front", "total"}
     # push_front returns a pointer to the recursive node structure.
     ret = types["push_front"].return_type
@@ -119,8 +136,8 @@ def test_polymorphic_allocator_wrapper():
     assert head is not None
 
 
-def test_interprocedural_tag_propagation():
-    result, types = _analyze(GETTER_SETTER)
+def test_interprocedural_tag_propagation(backend_service):
+    result, types = _analyze(GETTER_SETTER, backend_service)
     # get_fd reads a field that use_config passes to write(fd, ...): the
     # #FileDescriptor purpose flows backwards through the call.
     get_fd = types["get_fd"]
@@ -133,15 +150,15 @@ def test_interprocedural_tag_propagation():
     assert isinstance(pointee, (StructType, IntType, TypedefType))
 
 
-def test_stats_are_recorded():
-    result, types = _analyze(LINKED_LIST)
+def test_stats_are_recorded(backend_service):
+    result, types = _analyze(LINKED_LIST, backend_service)
     assert types.stats["instructions"] > 10
     assert types.stats["total_seconds"] >= 0
     assert types.stats["procedures"] == 1
 
 
-def test_report_renders():
-    result, types = _analyze(ALLOCATOR)
+def test_report_renders(backend_service):
+    result, types = _analyze(ALLOCATOR, backend_service)
     report = types.report()
     assert "push_front(" in report
     assert "total(" in report
