@@ -21,6 +21,7 @@ Numbers land in ``benchmarks/results/generated_corpus.txt``.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -82,6 +83,7 @@ def run(count, seed, profile_name, write=True):
     ]
     reference = None
     timings = {}
+    backend_rows = {}
     for backend in BACKENDS:
         elapsed, report, fingerprints = _run_backend(compiled, backend)
         timings[backend] = elapsed
@@ -92,6 +94,7 @@ def run(count, seed, profile_name, write=True):
             assert not mismatched, (
                 f"backend {backend!r} diverged from serial on: {mismatched[:5]}"
             )
+        backend_rows[backend] = _backend_row(backend, elapsed, report, count)
         lines.append(
             f"{backend:>10} {elapsed:>8.3f} {count / elapsed:>8.1f} "
             f"{report.hit_rate:>8.0%}"
@@ -107,7 +110,50 @@ def run(count, seed, profile_name, write=True):
         from conftest import write_result
 
         write_result("generated_corpus.txt", report_text)
+        bench_path = os.path.join(_HERE, "results", "BENCH_corpus.json")
+        with open(bench_path, "w") as handle:
+            json.dump(
+                {
+                    "benchmark": "generated_corpus",
+                    "programs": count,
+                    "functions": total_functions,
+                    "seed": seed,
+                    "profile": profile_name,
+                    "generate_seconds": generate_seconds,
+                    "compile_seconds": compile_seconds,
+                    "backends": backend_rows,
+                    "byte_identical": True,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"machine-readable: {bench_path}")
     return timings
+
+
+def _backend_row(backend, elapsed, report, count):
+    """One backend's machine-readable record: throughput plus per-program
+    latency percentiles estimated through the obs histogram (same method the
+    server's ``metrics`` verb uses)."""
+    from repro.obs import Histogram
+
+    hist = Histogram()
+    for entry in report.reports.values():
+        hist.observe(entry.seconds)
+    row = {
+        "backend": backend,
+        "wall_seconds": elapsed,
+        "programs_per_second": count / elapsed if elapsed else None,
+        "hit_rate": report.hit_rate,
+        "per_program_seconds": {
+            "count": hist.count,
+            "mean": hist.sum / hist.count if hist.count else None,
+        },
+    }
+    row["per_program_seconds"].update(hist.percentiles())
+    return row
 
 
 def test_generated_corpus_backends_identical():

@@ -33,7 +33,34 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 
 from repro.eval.workloads import generate_program_source
 from repro.frontend import compile_c
+from repro.obs import Histogram
 from repro.server import AsyncTypeQueryClient, ServerConfig, TypeQueryClient, TypeQueryServer
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def latency_summary(latencies) -> dict:
+    """Fold raw per-request latencies through an obs histogram: the summary
+    reports the same estimated p50/p95/p99 a live server's ``metrics`` verb
+    would, so trajectory files and production dashboards agree on method."""
+    hist = Histogram()
+    for value in latencies:
+        hist.observe(value)
+    summary = {
+        "count": hist.count,
+        "mean_seconds": hist.sum / hist.count if hist.count else None,
+    }
+    summary.update({key: value for key, value in hist.percentiles().items()})
+    return summary
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def start_server(max_concurrency: int):
@@ -178,6 +205,28 @@ def main() -> int:
     registry = server.registry.snapshot()
     print(f"registry             : {registry['programs']} programs, "
           f"hit rate {registry['hit_rate']:.0%}")
+
+    bench_path = write_bench_json(
+        "BENCH_server.json",
+        {
+            "benchmark": "server_throughput",
+            "backend": server.config.backend or "serial",
+            "quick": bool(args.quick),
+            "functions_per_program": functions,
+            "cold_analyze": latency_summary(cold),
+            "warm_query": latency_summary(warm),
+            "warm_cold_speedup": speedup,
+            "concurrent": {
+                "clients": args.clients,
+                "requests": requests,
+                "wall_seconds": wall,
+                "requests_per_second": requests / wall if wall else None,
+                "mismatches": mismatches,
+            },
+            "registry": registry,
+        },
+    )
+    print(f"machine-readable     : {bench_path}")
 
     failed = []
     if mismatches:

@@ -160,6 +160,65 @@ def test_suite_workload_speedup():
     )
 
 
+def test_noop_obs_overhead_gate():
+    """Disabled-observability gate: the null tracer/registry must cost < 2%.
+
+    The solver, typegen and service layers are permanently instrumented with
+    ``get_tracer().span(...)`` / ``get_registry().counter(...)`` calls that
+    hit shared no-op singletons unless a caller opts in.  There is no
+    un-instrumented build to diff against, so the gate projects the overhead:
+    run one analysis under a real tracer to count how many spans the workload
+    emits, measure the null-path unit cost in a tight loop, and require
+    ``spans * unit_cost`` to stay under 2% of the workload's wall time on the
+    default (disabled) path.
+    """
+    from repro.eval.workloads import make_workload
+    from repro.obs import NULL_TRACER, Tracer, get_tracer, tracing
+    from repro.pipeline import analyze_program
+
+    workload = make_workload("obs_gate", 16, seed=7)
+
+    def analyze(_jobs=None):
+        analyze_program(workload.program)
+
+    assert get_tracer() is NULL_TRACER, "suite leaked an installed tracer"
+    baseline = _best_of(analyze, None)
+
+    with tracing(Tracer()) as tracer:
+        analyze()
+    span_count = len(tracer.spans())
+    assert span_count > 0, "instrumentation emitted no spans under a real tracer"
+
+    probes = 200_000
+    null_tracer = get_tracer()
+    start = time.perf_counter()
+    for _ in range(probes):
+        with null_tracer.span("solver.saturate", edges_added=0) as span:
+            span.set("probe", 1)
+    unit_cost = (time.perf_counter() - start) / probes
+
+    projected = span_count * unit_cost
+    fraction = projected / baseline if baseline else 0.0
+    write_result(
+        "obs_noop_overhead.txt",
+        "\n".join(
+            [
+                "Disabled-observability overhead projection",
+                "",
+                f"workload baseline (null tracer): {baseline:.4f}s",
+                f"spans emitted when enabled:      {span_count}",
+                f"null span unit cost:             {unit_cost * 1e9:.1f} ns",
+                f"projected no-op overhead:        {projected * 1e3:.3f} ms "
+                f"({fraction:.3%} of baseline)",
+            ]
+        ),
+    )
+    assert fraction < 0.02, (
+        f"no-op instrumentation projects to {fraction:.2%} of workload time "
+        f"(gate: < 2%); see benchmarks/results/obs_noop_overhead.txt"
+    )
+
+
 def test_simplification_cost(benchmark):
     from repro.core import ConstraintGraph, saturate, simplify_constraints
 

@@ -44,7 +44,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     source = _read_source(args.path)
     kind = _infer_kind(args.path, args.kind)
-    service = AnalysisService(ServiceConfig(use_cache=False))
+    service = AnalysisService(
+        ServiceConfig(use_cache=False, executor=args.backend)
+    )
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer, tracing
+
+        tracer = Tracer()
     try:
         if kind == "c":
             from .frontend import compile_c
@@ -54,10 +61,27 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             from .ir.asmparser import parse_program
 
             program = parse_program(source)
-        types = service.analyze(program)
+        if tracer is not None:
+            with tracing(tracer):
+                types = service.analyze(program)
+        else:
+            types = service.analyze(program)
     except Exception as exc:
         print(f"error: {kind} analysis of {args.path} failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        service.close()
+
+    if tracer is not None:
+        # Extension picks the format: .jsonl -> the line-delimited span log,
+        # anything else -> Chrome trace-event JSON (Perfetto-loadable).
+        if args.trace_out.endswith(".jsonl"):
+            tracer.export_jsonl(args.trace_out)
+        else:
+            tracer.export_chrome(args.trace_out)
+        print(
+            f"trace: {len(tracer.spans())} spans -> {args.trace_out}", file=sys.stderr
+        )
 
     if args.procedure is not None and args.procedure not in types.functions:
         known = ", ".join(sorted(types.functions)) or "<none>"
@@ -165,6 +189,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--procedure", default=None, help="restrict output to one procedure"
+    )
+    analyze.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes", "auto"],
+        default=None,
+        help="wave executor for the solve (default: serial)",
+    )
+    analyze.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="export a span trace of the analysis: .jsonl writes the span log, "
+        "any other extension writes Chrome trace-event JSON (Perfetto)",
     )
     analyze.set_defaults(func=cmd_analyze)
 

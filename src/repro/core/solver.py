@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..obs.trace import get_tracer
 from .constraints import ConstraintSet, SubtypeConstraint
 from .graph import ConstraintGraph
 from .labels import InLabel, Label, OutLabel, Variance, path_variance
@@ -261,46 +262,50 @@ class Solver:
         into it (callers aggregating across SCCs pass one shared record; the
         service passes a fresh record per SCC so waves can run on threads).
         """
-        scc_set = set(scc)
-        combined = ConstraintSet()
-        for name in scc:
-            proc = procedures[name]
-            combined.update(proc.constraints)
-            for callsite in proc.callsites:
-                combined.update(
-                    self._callsite_constraints(callsite, scc_set, procedures, results)
-                )
+        tracer = get_tracer()
+        with tracer.span("solver.solve_scc", scc=",".join(scc)) as scc_span:
+            scc_set = set(scc)
+            combined = ConstraintSet()
+            for name in scc:
+                proc = procedures[name]
+                combined.update(proc.constraints)
+                for callsite in proc.callsites:
+                    combined.update(
+                        self._callsite_constraints(callsite, scc_set, procedures, results)
+                    )
+            scc_span.set("constraints", len(combined))
 
-        shapes, graph = self._solve_constraints(combined, stats)
+            shapes, graph = self._solve_constraints(combined, stats)
 
-        sketch_start = time.perf_counter()
-        out: Dict[str, ProcedureResult] = {}
-        for name in scc:
-            proc = procedures[name]
-            scheme = scheme_from_shapes(
-                proc, shapes, self.lattice, max_depth=self.config.max_scheme_depth
-            )
-            in_sketches = {
-                dtv: shapes.sketch_for(dtv)
-                for dtv in proc.formal_ins
-                if shapes.lookup(dtv) is not None
-            }
-            out_sketches = {
-                dtv: shapes.sketch_for(dtv)
-                for dtv in proc.formal_outs
-                if shapes.lookup(dtv) is not None
-            }
-            out[name] = ProcedureResult(
-                name=name,
-                scheme=scheme,
-                formal_in_sketches=in_sketches,
-                formal_out_sketches=out_sketches,
-                shapes=shapes,
-            )
-        if stats is not None:
-            stats.sketch_seconds += time.perf_counter() - sketch_start
-            stats.sccs_timed += 1
-        return out
+            sketch_start = time.perf_counter()
+            out: Dict[str, ProcedureResult] = {}
+            with tracer.span("solver.sketch", scc=",".join(scc)):
+                for name in scc:
+                    proc = procedures[name]
+                    scheme = scheme_from_shapes(
+                        proc, shapes, self.lattice, max_depth=self.config.max_scheme_depth
+                    )
+                    in_sketches = {
+                        dtv: shapes.sketch_for(dtv)
+                        for dtv in proc.formal_ins
+                        if shapes.lookup(dtv) is not None
+                    }
+                    out_sketches = {
+                        dtv: shapes.sketch_for(dtv)
+                        for dtv in proc.formal_outs
+                        if shapes.lookup(dtv) is not None
+                    }
+                    out[name] = ProcedureResult(
+                        name=name,
+                        scheme=scheme,
+                        formal_in_sketches=in_sketches,
+                        formal_out_sketches=out_sketches,
+                        shapes=shapes,
+                    )
+            if stats is not None:
+                stats.sketch_seconds += time.perf_counter() - sketch_start
+                stats.sccs_timed += 1
+            return out
 
     _solve_scc = solve_scc
 
@@ -339,9 +344,11 @@ class Solver:
         self, constraints: ConstraintSet, stats: Optional[SolveStats] = None
     ) -> Tuple[ShapeInference, Optional[ConstraintGraph]]:
         timer = time.perf_counter
+        tracer = get_tracer()
 
         start = timer()
-        shapes = infer_shapes(constraints, self.lattice)
+        with tracer.span("solver.shapes"):
+            shapes = infer_shapes(constraints, self.lattice)
         sketch_seconds = timer() - start
 
         graph: Optional[ConstraintGraph] = None
@@ -349,25 +356,31 @@ class Solver:
         saturation_edges = bound_count = 0
         if self.config.precise_bounds:
             start = timer()
-            graph = ConstraintGraph(constraints)
+            with tracer.span("solver.graph") as graph_span:
+                graph = ConstraintGraph(constraints)
+                graph_span.set("nodes", len(graph.nodes))
             graph_seconds = timer() - start
 
             start = timer()
-            saturation_edges = saturate(graph)
+            with tracer.span("solver.saturate") as saturate_span:
+                saturation_edges = saturate(graph)
+                saturate_span.set("edges_added", saturation_edges)
             saturate_seconds = timer() - start
 
             start = timer()
-            shapes.clear_bounds()
-            bounds = derive_constant_bounds(graph, self.lattice)
-            bound_count = len(bounds)
-            for dtv, kind, constant in bounds:
-                cell = shapes.lookup(dtv)
-                if cell is None:
-                    continue
-                if kind == "lower":
-                    shapes.apply_lower(cell, constant)
-                else:
-                    shapes.apply_upper(cell, constant)
+            with tracer.span("solver.simplify") as simplify_span:
+                shapes.clear_bounds()
+                bounds = derive_constant_bounds(graph, self.lattice)
+                bound_count = len(bounds)
+                simplify_span.set("constant_bounds", bound_count)
+                for dtv, kind, constant in bounds:
+                    cell = shapes.lookup(dtv)
+                    if cell is None:
+                        continue
+                    if kind == "lower":
+                        shapes.apply_lower(cell, constant)
+                    else:
+                        shapes.apply_upper(cell, constant)
             simplify_seconds = timer() - start
         if stats is not None:
             stats.sketch_seconds += sketch_seconds

@@ -33,6 +33,7 @@ gets backpressure instead of an unbounded output buffer.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import logging
 import os
 import time
@@ -42,6 +43,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from .. import __version__
+from ..obs.metrics import install_default
+from ..obs.trace import get_tracer
 from ..service.incremental import AnalysisService, IncrementalSession, ServiceConfig
 from ..service.store import environment_fingerprint
 from . import protocol
@@ -49,6 +52,13 @@ from .protocol import ErrorCode, ProtocolError
 from .registry import ProgramRegistry
 
 logger = logging.getLogger("repro.server")
+
+#: the current request's root-span context, carried from the event loop to
+#: executor threads.  A contextvar (not a thread-local stack): interleaved
+#: coroutines share the loop thread, so stack discipline cannot hold there.
+_REQUEST_SPAN: "contextvars.ContextVar[Optional[Dict[str, object]]]" = contextvars.ContextVar(
+    "repro_request_span", default=None
+)
 
 
 @dataclass
@@ -129,6 +139,11 @@ class TypeQueryServer:
         )
         self._gate: Optional[asyncio.Semaphore] = None  # loop-bound; made in start()
         self._pending = 0
+        self._running = 0
+        # The daemon is the long-lived owner of observability: ensure the
+        # process default is a real registry so every layer's counters land
+        # where the ``metrics`` verb can serve them.
+        self.metrics = install_default()
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
         self._started = 0.0
@@ -239,6 +254,11 @@ class TypeQueryServer:
 
     async def _respond(self, line: bytes) -> Dict[str, object]:
         request_id: Optional[int] = None
+        op = "unknown"
+        tracer = get_tracer()
+        span = None
+        token = None
+        start = time.perf_counter()
         try:
             message = protocol.decode_line(line)
             # Salvage the correlation id before validation so even version /
@@ -247,18 +267,37 @@ class TypeQueryServer:
             if isinstance(candidate, (int, str)):
                 request_id = candidate
             op, params, request_id = protocol.validate_request(message)
+            # One *detached* root span per request: interleaved coroutines
+            # share this thread, so the span must not enter the nesting stack.
+            # Its context rides the contextvar so executor-side work (and
+            # procpool workers beyond) parent under it.
+            span = tracer.start_span(f"server.{op}")
+            token = _REQUEST_SPAN.set(tracer.context_for(span))
             result = await self._dispatch(op, params)
             self.requests_served += 1
+            self.metrics.counter("server_requests_total", verb=op).inc()
+            self.metrics.histogram("server_request_seconds", verb=op).observe(
+                time.perf_counter() - start
+            )
             return protocol.make_response(request_id, result)
         except ProtocolError as exc:
             self.errors_returned += 1
+            self.metrics.counter("server_errors_total", verb=op, code=exc.code).inc()
             return protocol.make_error(request_id, exc.code, exc.message)
         except Exception as exc:  # noqa: BLE001 - the daemon must not die
             logger.exception("internal error handling request")
             self.errors_returned += 1
+            self.metrics.counter(
+                "server_errors_total", verb=op, code=ErrorCode.INTERNAL_ERROR
+            ).inc()
             return protocol.make_error(
                 request_id, ErrorCode.INTERNAL_ERROR, f"{type(exc).__name__}: {exc}"
             )
+        finally:
+            if token is not None:
+                _REQUEST_SPAN.reset(token)
+            if span is not None:
+                tracer.finish(span)
 
     # -- the global concurrency gate -------------------------------------------
 
@@ -271,13 +310,34 @@ class TypeQueryServer:
                 f"{self._pending} analyses already queued (max_pending="
                 f"{self.config.max_pending}); retry later",
             )
+        tracer = get_tracer()
+        context = _REQUEST_SPAN.get()
+        if tracer.enabled and context is not None:
+            # Executor threads don't inherit the request's root span; attach
+            # its shipped context so analysis spans parent under the verb.
+            work = lambda: self._attached_call(tracer, context, fn)  # noqa: E731
+        else:
+            work = fn
         self._pending += 1
+        self.metrics.gauge("server_gate_pending").set(self._pending)
         try:
             async with self._gate:
-                loop = asyncio.get_running_loop()
-                return await loop.run_in_executor(self._executor, fn)
+                self._running += 1
+                self.metrics.gauge("server_gate_inflight").set(self._running)
+                try:
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(self._executor, work)
+                finally:
+                    self._running -= 1
+                    self.metrics.gauge("server_gate_inflight").set(self._running)
         finally:
             self._pending -= 1
+            self.metrics.gauge("server_gate_pending").set(self._pending)
+
+    @staticmethod
+    def _attached_call(tracer, context, fn: Callable[[], object]) -> object:
+        with tracer.attach(context):
+            return fn()
 
     # -- program intake --------------------------------------------------------
 
@@ -350,6 +410,7 @@ class TypeQueryServer:
         handler = {
             "ping": self._op_ping,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "analyze": self._op_analyze,
             "query": self._op_query,
             "corpus": self._op_corpus,
@@ -389,6 +450,15 @@ class TypeQueryServer:
             "requests_served": self.requests_served,
             "errors_returned": self.errors_returned,
             "analyses_pending": self._pending,
+            # Admission-gate visibility: ``pending`` counts every admitted
+            # analysis (queued or running, the number max_pending checks),
+            # ``inflight`` the ones actually holding a gate slot.
+            "gate": {
+                "pending": self._pending,
+                "inflight": self._running,
+                "max_concurrency": self.config.max_concurrency,
+                "max_pending": self.config.max_pending,
+            },
             "sessions_open": len(self._sessions),
             "backend": self.config.backend
             or ("threads" if self.config.parallel_waves else "serial"),
@@ -398,6 +468,12 @@ class TypeQueryServer:
             # the first process-backed analysis builds the pool).
             "procpool": self.service.procpool_snapshot(),
         }
+
+    async def _op_metrics(self, params: Dict[str, object]) -> Dict[str, object]:
+        fmt = params.get("format", "json")
+        if not isinstance(fmt, str):
+            raise ProtocolError(ErrorCode.INVALID_PARAMS, "format must be a string")
+        return protocol.metrics_payload(self.metrics, fmt)
 
     async def _op_analyze(self, params: Dict[str, object]) -> Dict[str, object]:
         program_id, types, cached = await self._intake(params)
@@ -485,6 +561,8 @@ class TypeQueryServer:
         except BaseException:
             self._sessions.pop(session_id, None)
             raise
+        finally:
+            self.metrics.gauge("server_sessions_open").set(len(self._sessions))
         payload["session_id"] = session_id
         return payload
 
@@ -534,6 +612,7 @@ class TypeQueryServer:
     async def _op_session_close(self, params: Dict[str, object]) -> Dict[str, object]:
         session_id = protocol.require_str(params, "session_id")
         state = self._sessions.pop(session_id, None)
+        self.metrics.gauge("server_sessions_open").set(len(self._sessions))
         if state is None:
             raise ProtocolError(
                 ErrorCode.UNKNOWN_SESSION, f"no open session {session_id!r}"

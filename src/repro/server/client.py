@@ -79,6 +79,15 @@ class _VerbMixin:
             return self.request("stats")
         return self.request("stats", {"program_id": program_id})
 
+    def metrics(self, format: Optional[str] = None):
+        """The process metrics registry: per-verb request counters, latency
+        histograms with p50/p95/p99, gate gauges, store/registry hit rates.
+        ``format="prometheus"`` returns the text exposition instead of the
+        structured JSON snapshot (see docs/observability.md)."""
+        if format is None:
+            return self.request("metrics")
+        return self.request("metrics", {"format": format})
+
     def analyze(self, source: str, kind: str = "asm", full: bool = False):
         """Submit ``source`` (``kind``: ``"asm"`` or ``"c"``) for analysis.
 

@@ -74,6 +74,7 @@ OPERATIONS = frozenset(
     {
         "ping",
         "stats",
+        "metrics",
         "analyze",
         "query",
         "corpus",
@@ -83,6 +84,9 @@ OPERATIONS = frozenset(
         "shutdown",
     }
 )
+
+#: formats the ``metrics`` verb can render its snapshot in.
+METRICS_FORMATS = frozenset({"json", "prometheus"})
 
 #: program source kinds accepted by ``analyze``/``corpus``/``session.open``.
 SOURCE_KINDS = frozenset({"asm", "c"})
@@ -250,6 +254,23 @@ def stats_payload(types, program_id: str) -> Dict[str, object]:
         "worker_stats": dict(workers) if isinstance(workers, dict) else workers,
         "worker_failed": stats.get("worker_failed", 0),
     }
+
+
+def metrics_payload(registry, fmt: str = "json") -> Dict[str, object]:
+    """The ``metrics`` result: the process metrics registry, rendered.
+
+    ``"json"`` returns the structured snapshot (counters/gauges/histograms
+    with p50/p95/p99, keyed by rendered metric name); ``"prometheus"`` returns
+    the text exposition in a ``text`` field for scrapers.
+    """
+    if fmt not in METRICS_FORMATS:
+        raise ProtocolError(
+            ErrorCode.INVALID_PARAMS,
+            f"unknown metrics format {fmt!r} (expected one of {sorted(METRICS_FORMATS)})",
+        )
+    if fmt == "prometheus":
+        return {"format": "prometheus", "text": registry.render_prometheus()}
+    return registry.snapshot()
 
 
 def procedure_payload(types, program_id: str, procedure: str) -> Dict[str, object]:

@@ -20,6 +20,8 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from ..obs.metrics import get_registry as _metrics_registry
+
 
 class ProgramRegistry:
     """Bounded, thread-safe LRU of analyzed programs keyed by content hash."""
@@ -49,10 +51,14 @@ class ProgramRegistry:
             entry = self._entries.get(program_id)
             if entry is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(program_id)
-            self.hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(program_id)
+                self.hits += 1
+        if entry is None:
+            _metrics_registry().counter("registry_misses_total").inc()
+            return None
+        _metrics_registry().counter("registry_hits_total").inc()
+        return entry
 
     def admit(self, program_id: str, types) -> None:
         """Publish an analyzed program, evicting least-recently-used entries."""

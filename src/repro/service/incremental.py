@@ -44,6 +44,8 @@ from ..core.solver import (
     collect_caller_contributions,
 )
 from ..ir.callgraph import CallGraph
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..ir.asmparser import parse_program
 from ..ir.cfg import cfg_node_count
 from ..ir.program import Program
@@ -192,15 +194,21 @@ class AnalysisService:
         from ..pipeline import ProgramTypes, _function_types
         from ..core.display import TypeDisplay
 
-        program = parse_program(source) if isinstance(source, str) else source
+        tracer = get_tracer()
+        with tracer.span("service.analyze") as root:
+            with tracer.span("service.parse"):
+                program = parse_program(source) if isinstance(source, str) else source
+            root.set("procedures", len(program.procedures))
 
-        start = time.perf_counter()
-        inputs = generate_program_constraints(program, self.extern_table)
-        constraint_time = time.perf_counter() - start
+            start = time.perf_counter()
+            with tracer.span("service.constraint_gen"):
+                inputs = generate_program_constraints(program, self.extern_table)
+            constraint_time = time.perf_counter() - start
 
-        solve_start = time.perf_counter()
-        results, stats = self.solve_inputs(program, inputs)
-        solve_time = time.perf_counter() - solve_start
+            solve_start = time.perf_counter()
+            with tracer.span("service.solve"):
+                results, stats = self.solve_inputs(program, inputs)
+            solve_time = time.perf_counter() - solve_start
 
         display = TypeDisplay(self.lattice)
         functions = {
@@ -321,6 +329,14 @@ class AnalysisService:
         if runner is not None:
             stage_stats.worker_failed += runner.worker_failed
 
+        registry = get_registry()
+        registry.record_stage_stats(stage_stats.to_json())
+        if cached:
+            registry.counter("service_scc_cache_hits_total").inc(len(cached))
+        misses = len(sccs) - len(cached)
+        if misses:
+            registry.counter("service_scc_cache_misses_total").inc(misses)
+
         # Deterministic final ordering: the display layer names structs in
         # conversion order, so results must surface bottom-up like the plain
         # solver builds them.
@@ -402,8 +418,10 @@ class IncrementalSession:
                 for name, procedure in program.procedures.items():
                     if deleted & set(procedure.direct_callees()):
                         changed.add(name)
-            callgraph = CallGraph.from_program(program)
-            invalidated = callgraph.transitive_callers(changed)
+            with get_tracer().span("service.invalidate", changed=len(changed)) as span:
+                callgraph = CallGraph.from_program(program)
+                invalidated = callgraph.transitive_callers(changed)
+                span.set("invalidated", len(invalidated))
         self._previous = dict(fingerprints)
 
         types = self.service.analyze(program)

@@ -56,6 +56,8 @@ from ..core.solver import (
     collect_caller_contributions,
 )
 from ..core.variables import parse_dtv
+from ..obs.metrics import get_registry
+from ..obs.trace import Tracer, get_tracer, tracing
 from .store import (
     STORE_FORMAT,
     SummaryStore,
@@ -195,6 +197,7 @@ def encode_task(
     working: Mapping[str, ProcedureResult],
     keys: Mapping[Tuple[str, ...], str],
     callee_cache: Optional[Dict[str, Dict[str, object]]] = None,
+    trace: Optional[Mapping[str, object]] = None,
 ) -> str:
     """One worker task: a chunk of same-wave SCCs plus their callee context.
 
@@ -203,7 +206,10 @@ def encode_task(
     the worker can probe/publish the shared disk tier itself.  ``callee_cache``
     memoizes encoded callees across the chunks of one wave -- ``working`` is
     fixed while a wave is in flight, and a helper shared by every SCC of a
-    wide wave would otherwise be re-encoded once per chunk.
+    wide wave would otherwise be re-encoded once per chunk.  ``trace`` (a
+    :meth:`Tracer.current_context` dict) asks the worker to record spans for
+    this chunk, parented under the given span id; omitted when tracing is off
+    so the payload carries no dead weight.
     """
     if callee_cache is None:
         callee_cache = {}
@@ -229,11 +235,10 @@ def encode_task(
                 "inputs": scc_inputs,
             }
         )
-    return json.dumps(
-        {"format": PROCPOOL_FORMAT, "sccs": sccs, "callees": callees},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    message: Dict[str, object] = {"format": PROCPOOL_FORMAT, "sccs": sccs, "callees": callees}
+    if trace is not None:
+        message["trace"] = dict(trace)
+    return json.dumps(message, sort_keys=True, separators=(",", ":"))
 
 
 # ---------------------------------------------------------------------------
@@ -321,57 +326,78 @@ def _worker_solve_chunk(task_json: str) -> str:
         for name, entry in task["callees"].items()
     }
 
-    results: List[Dict[str, object]] = []
-    for item in task["sccs"]:
-        scc: List[str] = item["scc"]
-        key: Optional[str] = item.get("key")
-        _check_fault_injection(scc)
-        start = time.perf_counter()
+    # When the parent sent a trace context, record this chunk's spans on a
+    # local tracer (same trace id, parented under the parent's wave span) and
+    # ship them back for Tracer.adopt to stitch.  Installed as the process
+    # tracer for the chunk so the solver's own stage spans nest underneath.
+    trace_ctx = task.get("trace")
+    tracer = Tracer(trace_id=trace_ctx["trace_id"]) if trace_ctx else None
 
-        if key and state.store is not None:
-            payload = state.store.get_payload(key)
-            if payload is not None:
-                results.append(
-                    {
-                        "scc": scc,
-                        "summary": payload,
-                        "stats": SolveStats().to_json(),
-                        "seconds": time.perf_counter() - start,
-                        "from_disk": True,
+    def solve_chunk() -> List[Dict[str, object]]:
+        results: List[Dict[str, object]] = []
+        active = get_tracer()
+        for item in task["sccs"]:
+            scc: List[str] = item["scc"]
+            key: Optional[str] = item.get("key")
+            _check_fault_injection(scc)
+            start = time.perf_counter()
+
+            if key and state.store is not None:
+                payload = state.store.get_payload(key)
+                if payload is not None:
+                    results.append(
+                        {
+                            "scc": scc,
+                            "summary": payload,
+                            "stats": SolveStats().to_json(),
+                            "seconds": time.perf_counter() - start,
+                            "from_disk": True,
+                        }
+                    )
+                    continue
+
+            scc_inputs = {
+                name: decode_input(name, entry) for name, entry in item["inputs"].items()
+            }
+            stats = SolveStats()
+            with active.span("procpool.solve_scc", scc=",".join(scc)):
+                scc_results = state.solver.solve_scc(
+                    scc, scc_inputs, callees, stats=stats
+                )
+                if state.refine:
+                    merged = ChainMap(scc_results, callees)
+                    contributions = {
+                        name: collect_caller_contributions(
+                            scc_inputs[name], scc_results[name], merged
+                        )
+                        for name in scc
                     }
-                )
-                continue
+                else:
+                    contributions = {}
+                payload = serialize_summary(summarize_scc(scc, scc_results, contributions))
+            if key and state.store is not None:
+                state.store.admit_payload(key, payload, write_disk=True)
+            results.append(
+                {
+                    "scc": scc,
+                    "summary": payload,
+                    "stats": stats.to_json(),
+                    "seconds": time.perf_counter() - start,
+                    "from_disk": False,
+                }
+            )
+        return results
 
-        scc_inputs = {
-            name: decode_input(name, entry) for name, entry in item["inputs"].items()
-        }
-        stats = SolveStats()
-        scc_results = state.solver.solve_scc(scc, scc_inputs, callees, stats=stats)
-        if state.refine:
-            merged = ChainMap(scc_results, callees)
-            contributions = {
-                name: collect_caller_contributions(
-                    scc_inputs[name], scc_results[name], merged
-                )
-                for name in scc
-            }
-        else:
-            contributions = {}
-        payload = serialize_summary(summarize_scc(scc, scc_results, contributions))
-        if key and state.store is not None:
-            state.store.admit_payload(key, payload, write_disk=True)
-        results.append(
-            {
-                "scc": scc,
-                "summary": payload,
-                "stats": stats.to_json(),
-                "seconds": time.perf_counter() - start,
-                "from_disk": False,
-            }
-        )
-    return json.dumps(
-        {"pid": os.getpid(), "results": results}, sort_keys=True, separators=(",", ":")
-    )
+    if tracer is not None:
+        with tracing(tracer), tracer.attach(trace_ctx):
+            results = solve_chunk()
+    else:
+        results = solve_chunk()
+
+    reply: Dict[str, object] = {"pid": os.getpid(), "results": results}
+    if tracer is not None:
+        reply["spans"] = tracer.spans()
+    return json.dumps(reply, sort_keys=True, separators=(",", ":"))
 
 
 # ---------------------------------------------------------------------------
@@ -491,6 +517,11 @@ class ProcPool:
         with self._lock:
             self.chunks_dispatched += dispatched
             self.chunks_failed += failed
+        registry = get_registry()
+        if dispatched:
+            registry.counter("procpool_chunks_dispatched_total").inc(dispatched)
+        if failed:
+            registry.counter("procpool_chunks_failed_total").inc(failed)
 
     def record_worker_stats(self, pid: int, stats: SolveStats) -> None:
         with self._lock:
@@ -580,11 +611,18 @@ class ProcessWaveRunner:
         # `working` is fixed while a wave is in flight, so shared callees are
         # encoded once and reused across the wave's chunk payloads.
         callee_cache: Dict[str, Dict[str, object]] = {}
+        tracer = get_tracer()
+        # The active span here is the scheduler's wave span; ship its context
+        # so worker-side solve spans stitch in underneath it.
+        trace_ctx = tracer.current_context() if tracer.enabled else None
         payloads = [
-            encode_task(chunk, self.inputs, self.working, self.keys, callee_cache)
+            encode_task(
+                chunk, self.inputs, self.working, self.keys, callee_cache, trace=trace_ctx
+            )
             for chunk in chunks
         ]
         replies = self.pool.submit_chunks(payloads)
+        registry = get_registry()
 
         solved: Dict[Tuple[str, ...], Tuple[object, float]] = {}
         requeue: List[Sequence[str]] = []
@@ -592,6 +630,13 @@ class ProcessWaveRunner:
             if reply is None:
                 requeue.extend(chunk)
                 continue
+            if reply.get("spans"):
+                tracer.adopt(reply["spans"])
+            busy = sum(
+                float(entry.get("seconds", 0.0)) for entry in reply.get("results", ())
+            )
+            if busy:
+                registry.counter("procpool_worker_busy_seconds_total").inc(busy)
             pid = int(reply.get("pid", 0))
             entries = {tuple(entry["scc"]): entry for entry in reply.get("results", ())}
             for scc in chunk:
@@ -609,6 +654,8 @@ class ProcessWaveRunner:
                 self.pool.record_worker_stats(pid, stats)
                 solved[tuple(scc)] = (triple, float(entry.get("seconds", 0.0)))
 
+        if requeue:
+            registry.counter("procpool_sccs_requeued_total").inc(len(requeue))
         for scc in requeue:
             self.worker_failed += 1
             self.requeued_sccs.append(",".join(scc))

@@ -43,6 +43,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field as dc_field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs.trace import get_tracer
+
 T = TypeVar("T")
 
 #: the executor strategies the scheduler accepts.
@@ -167,21 +169,31 @@ class WaveScheduler:
         # One pool for the whole run: deep call graphs have many narrow waves
         # and must not pay thread spawn/join per wave.
         pool = ThreadPoolExecutor(max_workers=self.max_workers) if use_threads else None
+        tracer = get_tracer()
         try:
-            for wave in waves:
+            for index, wave in enumerate(waves):
                 stats.wave_widths.append(len(wave))
                 timed: List[Tuple[Sequence[str], T, float]]
-                if mode == "processes" and len(wave) > 1:
-                    # Single-SCC waves stay in-process: IPC without overlap is
-                    # pure overhead.
-                    timed = remote.solve_wave(wave, solve)
-                elif pool is not None and len(wave) > 1:
-                    futures = [pool.submit(_timed_call, solve, scc) for scc in wave]
-                    timed = [
-                        (scc, *future.result()) for scc, future in zip(wave, futures)
-                    ]
-                else:
-                    timed = [(scc, *_timed_call(solve, scc)) for scc in wave]
+                with tracer.span(
+                    "scheduler.wave", index=index, width=len(wave), executor=mode
+                ):
+                    if mode == "processes" and len(wave) > 1:
+                        # Single-SCC waves stay in-process: IPC without overlap
+                        # is pure overhead.
+                        timed = remote.solve_wave(wave, solve)
+                    elif pool is not None and len(wave) > 1:
+                        # Per-SCC work runs on pool threads; hand each one the
+                        # wave span's context so its spans parent correctly.
+                        context = tracer.current_context()
+                        futures = [
+                            pool.submit(_timed_call, solve, scc, tracer, context)
+                            for scc in wave
+                        ]
+                        timed = [
+                            (scc, *future.result()) for scc, future in zip(wave, futures)
+                        ]
+                    else:
+                        timed = [(scc, *_timed_call(solve, scc)) for scc in wave]
                 wave_results: List[Tuple[Sequence[str], T]] = []
                 for scc, result, seconds in timed:
                     stats.scc_seconds.append((",".join(scc), seconds))
@@ -198,7 +210,17 @@ class WaveScheduler:
         return all_results, stats
 
 
-def _timed_call(solve: Callable[[Sequence[str]], T], scc: Sequence[str]) -> Tuple[T, float]:
+def _timed_call(
+    solve: Callable[[Sequence[str]], T],
+    scc: Sequence[str],
+    tracer=None,
+    context=None,
+) -> Tuple[T, float]:
     start = time.perf_counter()
-    result = solve(scc)
+    if tracer is not None and context is not None:
+        # Running on a pool thread: adopt the dispatching wave span as parent.
+        with tracer.attach(context):
+            result = solve(scc)
+    else:
+        result = solve(scc)
     return result, time.perf_counter() - start

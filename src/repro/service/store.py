@@ -38,6 +38,7 @@ from ..core.sketches import Sketch
 from ..core.solver import ProcedureResult, RefinementContribution, SolverConfig
 from ..core.variables import DerivedTypeVariable, parse_dtv
 from ..ir.program import Procedure, Program
+from ..obs.metrics import get_registry
 from ..typegen.externs import ExternSignature
 
 
@@ -431,6 +432,11 @@ class SummaryStore:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
+        registry = get_registry()
+        if payload is None:
+            registry.counter("store_misses_total").inc()
+        else:
+            registry.counter("store_hits_total").inc()
         return payload
 
     def put(self, key: str, summary: SCCSummary) -> None:

@@ -27,6 +27,7 @@ from ..core.constraints import AddConstraint, ConstraintSet, SubConstraint
 from ..core.labels import FieldLabel, InLabel, Label, LoadLabel, OutLabel, StoreLabel
 from ..core.solver import Callsite, ProcedureTypingInput
 from ..core.variables import DerivedTypeVariable
+from ..obs.trace import get_tracer
 from ..ir.dataflow import ENTRY, Location, ReachingDefinitions, analyze_reaching_definitions
 from ..ir.instructions import (
     WORD_SIZE,
@@ -486,8 +487,11 @@ def generate_program_constraints(
         name: discover_interface(procedure) for name, procedure in program.procedures.items()
     }
     callees = callee_table(program, interfaces, externs)
+    tracer = get_tracer()
     results: Dict[str, ProcedureTypingInput] = {}
     for name, procedure in program.procedures.items():
-        generator = ProcedureConstraintGenerator(procedure, interfaces[name], callees)
-        results[name] = generator.generate()
+        with tracer.span("typegen.constraints", function=name) as span:
+            generator = ProcedureConstraintGenerator(procedure, interfaces[name], callees)
+            results[name] = generator.generate()
+            span.set("constraints", len(results[name].constraints))
     return results

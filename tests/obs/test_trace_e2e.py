@@ -1,0 +1,99 @@
+"""End-to-end tracing: one exported trace covering driver and worker processes.
+
+This is the PR's acceptance scenario: analyze a generated program on the
+``processes`` backend with ``--trace-out`` and get a single Chrome trace in
+which the workers' per-SCC solve spans are parented under the service's wave
+spans, on their own named process tracks.
+"""
+
+import json
+import os
+
+from repro.__main__ import main as cli_main
+from repro.obs import TRACE_FORMAT, load_jsonl
+
+
+def _write_stress_program(tmp_path):
+    """One generated mini-C program big enough for multi-SCC waves."""
+    from repro.gen import generate_corpus, named_profiles
+
+    (program,) = generate_corpus(1, 99, named_profiles()["stress"])
+    path = tmp_path / f"{program.name}.c"
+    path.write_text(program.source)
+    return str(path)
+
+
+def test_cli_serial_trace_jsonl_round_trip(tmp_path, capsys):
+    source = tmp_path / "tiny.s"
+    source.write_text("main:\n    mov eax, 1\n    ret\n")
+    out = tmp_path / "trace.jsonl"
+    assert cli_main(["analyze", str(source), "--trace-out", str(out)]) == 0
+    header, spans = load_jsonl(str(out))
+    assert header["format"] == TRACE_FORMAT
+    assert header["spans"] == len(spans) > 0
+    names = {span["name"] for span in spans}
+    assert {"service.analyze", "service.parse", "service.constraint_gen",
+            "service.solve", "solver.solve_scc", "solver.saturate"} <= names
+    # Everything below the root parents into the same single trace.
+    ids = {span["span_id"] for span in spans}
+    root = next(s for s in spans if s["name"] == "service.analyze")
+    assert root["parent_id"] is None
+    assert all(
+        span["parent_id"] in ids for span in spans if span is not root
+    )
+
+
+def test_cli_processes_trace_stitches_worker_spans(tmp_path):
+    program = _write_stress_program(tmp_path)
+    out = tmp_path / "trace.json"
+    assert (
+        cli_main(
+            [
+                "analyze",
+                program,
+                "--backend",
+                "processes",
+                "--trace-out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    with open(out) as handle:
+        doc = json.load(handle)
+    assert doc["otherData"]["format"] == TRACE_FORMAT
+
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+
+    # At least two process tracks: the driver plus >= 1 worker, named apart.
+    driver_pid = os.getpid()
+    assert meta[driver_pid] == "repro"
+    worker_pids = {pid for pid, name in meta.items() if name == f"repro-worker-{pid}"}
+    assert worker_pids, f"no worker tracks in {sorted(meta.values())}"
+
+    # Every worker-side solve span is parented under a driver-side wave span.
+    waves = {
+        e["args"]["span_id"]: e
+        for e in complete
+        if e["name"] == "scheduler.wave"
+    }
+    assert waves and all(e["pid"] == driver_pid for e in waves.values())
+    worker_solves = [e for e in complete if e["name"] == "procpool.solve_scc"]
+    assert worker_solves, "processes backend dispatched no traced chunks"
+    for event in worker_solves:
+        assert event["pid"] in worker_pids
+        assert event["args"]["parent_id"] in waves, (
+            f"worker span {event['args']['span_id']} not parented under a wave"
+        )
+
+    # Worker-local solver stage spans rode along too, nested under the solve.
+    solve_ids = {e["args"]["span_id"] for e in worker_solves}
+    worker_stage = [
+        e
+        for e in complete
+        if e["pid"] in worker_pids and e["name"] == "solver.solve_scc"
+    ]
+    assert worker_stage
+    assert all(e["args"]["parent_id"] in solve_ids for e in worker_stage)
