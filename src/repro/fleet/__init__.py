@@ -1,0 +1,51 @@
+"""The sharded type-inference fleet: shared store, router, launcher.
+
+One :class:`~repro.server.app.TypeQueryServer` process tops out at one
+machine's cores and one in-process summary pool.  This package is the
+multi-node story the ROADMAP's "millions of users" north star needs:
+
+``repro.fleet.storeserver``
+    :class:`SummaryStoreServer` -- a socket-served shared summary store:
+    every shard points its :class:`~repro.service.store.SocketStoreBackend`
+    at one daemon, so an SCC any shard has ever solved is a warm hit for all
+    of them (the statically-linked-cluster reuse of Figure 10, across
+    processes).
+``repro.fleet.ring``
+    :class:`HashRing` -- stdlib-only consistent hashing; program content
+    hashes map to shards, and a shard's death remaps only its own arc.
+``repro.fleet.router``
+    :class:`FleetRouter` -- an asyncio front door speaking the exact wire
+    protocol of :mod:`repro.server.protocol`.  It forwards every verb to the
+    ring-assigned shard, remembers which shard analyzed which program (and
+    the source, so a registry miss or a dead shard triggers a near-free warm
+    re-analysis on a healthy shard -- lazy registry replication), keeps
+    session affinity, and requeues in-flight requests on shard failure
+    (typed ``fleet_shard_failed_total`` counter; the PR-4 worker-crash
+    degradation pattern one level up).
+``repro.fleet.launcher``
+    :class:`FleetLauncher` -- ``python -m repro.server --fleet N``: spawns
+    the store daemon, N shard server subprocesses and the router, health-
+    checks the shards, and drains gracefully on shutdown.
+``repro.fleet.smoke``
+    ``python -m repro.fleet.smoke`` -- the CI acceptance harness: a fleet
+    must produce byte-identical ``result_fingerprint``s to a single server
+    over a generated corpus, surviving one shard killed mid-run.
+
+Operator guidance lives in ``docs/operations.md`` (fleet section); the
+``health`` verb and shard-routing fields are specified in
+``docs/protocol.md``.
+"""
+
+from .launcher import FleetConfig, FleetLauncher
+from .ring import HashRing
+from .router import FleetRouter, RouterConfig
+from .storeserver import SummaryStoreServer
+
+__all__ = [
+    "FleetConfig",
+    "FleetLauncher",
+    "FleetRouter",
+    "HashRing",
+    "RouterConfig",
+    "SummaryStoreServer",
+]

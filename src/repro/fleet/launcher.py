@@ -1,0 +1,281 @@
+"""Fleet process management: ``python -m repro.server --fleet N``.
+
+One launcher owns the whole topology:
+
+1. the shared :class:`~repro.fleet.storeserver.SummaryStoreServer` (a thread
+   in the launcher process -- the cheapest component, and keeping it local
+   means the fleet's warm pool dies last);
+2. ``N`` shard subprocesses, each an ordinary ``python -m repro.server
+   --port 0`` pointed at the store daemon via ``--store-addr`` and labelled
+   with ``--shard-id``;
+3. the :class:`~repro.fleet.router.FleetRouter` serving the client-facing
+   address on the launcher's event loop.
+
+Startup is fail-fast: every shard must print its listen address within
+``startup_timeout`` and answer a ``ping``, or the launcher tears everything
+down and raises.  Shutdown is graceful-then-firm: SIGTERM each shard, give
+it a moment, then SIGKILL stragglers; the router drains its connections
+first so no accepted request is abandoned.
+
+Crashed shards are *not* respawned -- the router routes around them (see
+:mod:`.router`); respawn policy belongs to the operator's supervisor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .. import __version__
+from ..server.client import TypeQueryClient
+from .router import ROUTER_NAME, FleetRouter, RouterConfig
+from .storeserver import SummaryStoreServer
+
+logger = logging.getLogger("repro.fleet.launcher")
+
+_LISTEN_RE = re.compile(r"listening on ([0-9a-fA-F.:\[\]]+):(\d+)")
+
+
+def child_environment() -> Dict[str, str]:
+    """The parent's environment plus whatever path imports ``repro`` here.
+
+    Subprocesses must resolve ``-m repro.server`` even when the parent found
+    the package through ``sys.path`` surgery (benchmarks, test harnesses)
+    rather than an installed distribution or an exported ``PYTHONPATH``.
+    """
+    env = dict(os.environ)
+    # __file__ is <root>/repro/fleet/launcher.py; children need <root> on path.
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+@dataclass
+class FleetConfig:
+    """Everything tunable about one fleet: topology plus per-shard knobs."""
+
+    shards: int = 2
+    host: str = "127.0.0.1"
+    #: the router's client-facing port; 0 picks a free one.
+    port: int = 8792
+    #: disk tier under the shared store daemon (None = memory only); the
+    #: fleet then survives a full restart with its summary pool intact.
+    store_dir: Optional[str] = None
+    #: shared store daemon LRU capacity (fleet-wide pool).
+    store_capacity: int = 16384
+    #: per-shard in-process LRU in front of the shared store.
+    cache_capacity: int = 4096
+    registry_capacity: int = 128
+    max_concurrency: int = 4
+    max_pending: int = 64
+    backend: Optional[str] = None
+    backend_workers: Optional[int] = None
+    health_interval: float = 2.0
+    allow_shutdown: bool = False
+    verbose: bool = False
+    #: seconds each shard gets to bind and answer its first ping.
+    startup_timeout: float = 60.0
+
+
+class FleetLauncher:
+    """Spawns and supervises one fleet.  ``start()`` → work → ``close()``.
+
+    The router still needs an event loop: call :meth:`start` (store daemon +
+    shards), then ``await`` :meth:`run_router` -- or use :func:`run_fleet`,
+    which does both and prints the client-facing address.
+    """
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        self.config = config or FleetConfig()
+        if self.config.shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.store: Optional[SummaryStoreServer] = None
+        self.processes: List[subprocess.Popen] = []
+        self.shard_addresses: List[str] = []
+        self.router: Optional[FleetRouter] = None
+
+    # -- bring-up --------------------------------------------------------------
+
+    def start(self) -> "FleetLauncher":
+        """Start the store daemon and all shard subprocesses (blocking)."""
+        try:
+            self.store = SummaryStoreServer(
+                host=self.config.host,
+                capacity=self.config.store_capacity,
+                cache_dir=self.config.store_dir,
+            ).start()
+            logger.info("shared summary store on %s", self.store.address)
+            for shard_id in range(self.config.shards):
+                self._spawn_shard(shard_id)
+            self._await_shards()
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def _shard_command(self, shard_id: int) -> List[str]:
+        assert self.store is not None
+        command = [
+            sys.executable,
+            "-m",
+            "repro.server",
+            "--host",
+            self.config.host,
+            "--port",
+            "0",
+            "--store-addr",
+            self.store.address,
+            "--shard-id",
+            str(shard_id),
+            "--cache-capacity",
+            str(self.config.cache_capacity),
+            "--registry-capacity",
+            str(self.config.registry_capacity),
+            "--max-concurrency",
+            str(self.config.max_concurrency),
+            "--max-pending",
+            str(self.config.max_pending),
+        ]
+        if self.config.backend:
+            command += ["--backend", self.config.backend]
+        if self.config.backend_workers:
+            command += ["--backend-workers", str(self.config.backend_workers)]
+        if self.config.allow_shutdown:
+            command.append("--allow-shutdown")
+        if self.config.verbose:
+            command.append("--verbose")
+        return command
+
+    def _spawn_shard(self, shard_id: int) -> None:
+        process = subprocess.Popen(
+            self._shard_command(shard_id),
+            stdout=subprocess.PIPE,
+            stderr=None,  # shard logs interleave with the launcher's
+            text=True,
+            env=child_environment(),
+        )
+        self.processes.append(process)
+        logger.info("spawned shard %d (pid %d)", shard_id, process.pid)
+
+    def _await_shards(self) -> None:
+        """Read each shard's banner line and confirm it answers a ping."""
+        deadline = time.monotonic() + self.config.startup_timeout
+        for shard_id, process in enumerate(self.processes):
+            address = None
+            assert process.stdout is not None
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"shard {shard_id} (pid {process.pid}) exited with "
+                        f"{process.returncode} during startup"
+                    )
+                line = process.stdout.readline()
+                if not line:
+                    continue
+                match = _LISTEN_RE.search(line)
+                if match:
+                    address = f"{match.group(1)}:{match.group(2)}"
+                    break
+            if address is None:
+                raise RuntimeError(
+                    f"shard {shard_id} did not report a listen address within "
+                    f"{self.config.startup_timeout}s"
+                )
+            self.shard_addresses.append(address)
+            host, _, port = address.rpartition(":")
+            remaining = max(0.5, deadline - time.monotonic())
+            with TypeQueryClient(
+                host, int(port), connect_retries=int(remaining / 0.2), connect_delay=0.2
+            ) as client:
+                client.ping()
+            logger.info("shard %d healthy on %s", shard_id, address)
+
+    # -- the router ------------------------------------------------------------
+
+    def router_config(self) -> RouterConfig:
+        assert self.store is not None and self.shard_addresses
+        return RouterConfig(
+            shards=list(self.shard_addresses),
+            host=self.config.host,
+            port=self.config.port,
+            store_addr=self.store.address,
+            health_interval=self.config.health_interval,
+            allow_shutdown=self.config.allow_shutdown,
+        )
+
+    async def run_router(self) -> None:
+        """Start the router and serve until shutdown; then tear the fleet down."""
+        self.router = FleetRouter(self.router_config())
+        host, port = await self.router.start()
+        print(
+            f"{ROUTER_NAME} v{__version__} listening on {host}:{port} "
+            f"({len(self.shard_addresses)} shards, store {self.store.address})",
+            flush=True,
+        )
+        try:
+            await self.router.serve_forever()
+        finally:
+            self.close()
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """SIGTERM every shard (SIGKILL stragglers), stop the store daemon."""
+        for process in self.processes:
+            if process.poll() is None:
+                try:
+                    process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + 5.0
+        for process in self.processes:
+            try:
+                process.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+            if process.stdout is not None:
+                process.stdout.close()
+        self.processes = []
+        self.shard_addresses = []
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "shards": [
+                {"pid": process.pid, "returncode": process.poll()}
+                for process in self.processes
+            ],
+            "addresses": list(self.shard_addresses),
+            "store": self.store.snapshot() if self.store is not None else None,
+        }
+
+    def __enter__(self) -> "FleetLauncher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+async def run_fleet(config: Optional[FleetConfig] = None) -> None:
+    """Bring up a whole fleet and serve until shut down (the CLI entry)."""
+    launcher = FleetLauncher(config)
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, launcher.start)
+    await launcher.run_router()

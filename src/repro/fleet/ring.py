@@ -1,0 +1,93 @@
+"""Consistent hashing for shard placement: stdlib only, deterministic.
+
+The classic construction: every shard contributes ``replicas`` points on a
+2^64 circle (SHA-256 of ``"shard:<id>:<replica>"``), and a key lands on the
+first point clockwise of its own hash.  Two properties make this the right
+router primitive:
+
+* **stability** -- adding or removing one shard remaps only the arcs that
+  touch its points (~1/N of the keyspace), so a shard crash does not
+  reshuffle every program's home and throw away every other shard's warm
+  registry;
+* **determinism** -- placement is a pure function of the key and the live
+  shard set.  Two routers (or a router and a test) agree without talking.
+
+``nodes_for`` yields the full preference order (each live shard exactly
+once), which is exactly the failover sequence: the router walks it until a
+healthy shard answers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+def _point(token: str) -> int:
+    """A position on the 2^64 circle (first 8 bytes of SHA-256)."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over opaque shard ids."""
+
+    def __init__(self, nodes: Sequence[object] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("a ring needs at least one replica per node")
+        self.replicas = replicas
+        self._points: List[Tuple[int, object]] = []
+        self._keys: List[int] = []
+        self._nodes: Dict[object, List[int]] = {}
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[object]:
+        return sorted(self._nodes, key=str)
+
+    def add(self, node: object) -> None:
+        if node in self._nodes:
+            return
+        points = [_point(f"shard:{node}:{replica}") for replica in range(self.replicas)]
+        self._nodes[node] = points
+        for point in points:
+            index = bisect.bisect(self._keys, point)
+            self._keys.insert(index, point)
+            self._points.insert(index, (point, node))
+
+    def remove(self, node: object) -> None:
+        points = self._nodes.pop(node, None)
+        if points is None:
+            return
+        # Rebuild the sorted arrays; N*replicas stays tiny (fleets are tens
+        # of shards, not thousands), so clarity beats cleverness here.
+        self._points = [(p, n) for p, n in self._points if n != node]
+        self._keys = [p for p, _ in self._points]
+
+    def node_for(self, key: str) -> object:
+        """The shard owning ``key``; raises ``LookupError`` on an empty ring."""
+        if not self._points:
+            raise LookupError("hash ring is empty (no healthy shards)")
+        index = bisect.bisect(self._keys, _point(key)) % len(self._points)
+        return self._points[index][1]
+
+    def nodes_for(self, key: str) -> Iterator[object]:
+        """All shards in preference (failover) order, each exactly once."""
+        if not self._points:
+            return
+        seen = set()
+        start = bisect.bisect(self._keys, _point(key))
+        for offset in range(len(self._points)):
+            _, node = self._points[(start + offset) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                yield node

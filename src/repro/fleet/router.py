@@ -1,0 +1,721 @@
+"""The fleet front door: one address, N shards, the same wire protocol.
+
+Clients connect to the router exactly as they would to a single
+:class:`~repro.server.app.TypeQueryServer` -- same newline-JSON framing, same
+verbs, same typed errors -- and the router forwards each request to a shard
+chosen by consistent hashing over the program's content (:mod:`.ring`).
+Because every shard mounts the same :class:`~repro.fleet.storeserver`
+summary pool, placement only decides *which registry* stays warm; the
+expensive per-SCC work is shared fleet-wide regardless.
+
+Failure handling is the PR-4 worker-crash pattern lifted one level: when a
+shard's connection dies mid-request the router marks it unhealthy, removes
+it from the ring, bumps the typed ``fleet_shard_failed_total`` counter and
+requeues the request on the next shard in the key's preference order.  The
+client sees a slightly slower answer, not an error.  Three mechanisms make
+that transparent:
+
+* **lazy registry replication** -- the router remembers, per analyzed
+  program, which shard owns it *and the submitted source*.  A ``query``
+  hitting a dead shard (or a shard whose registry evicted the program) is
+  satisfied by re-submitting that source to a healthy shard first: a
+  near-free warm analysis, since every SCC summary is a socket-store hit.
+* **session re-homing** -- ``session.edit`` carries the full source, so a
+  session whose shard died is transparently re-opened on a healthy shard;
+  the client keeps its original session id.
+* **result pass-through** -- forwarded ``result`` payloads are returned
+  byte-for-byte untouched (routing metadata rides the response envelope as
+  a top-level ``"shard"`` key, which clients ignore), so a fleet answer is
+  byte-identical to a single server's.
+
+The router never respawns shards; that is an operator (or orchestrator)
+decision.  A shard that comes back and answers health probes is re-admitted
+to the ring automatically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import logging
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..obs.metrics import install_default
+from ..server import protocol
+from ..server.client import AsyncTypeQueryClient, ServerConnectionError, TypeQueryError
+from ..server.protocol import ErrorCode, ProtocolError
+from .ring import HashRing
+
+logger = logging.getLogger("repro.fleet.router")
+
+#: identifies the router in ``ping`` responses (shards answer with the
+#: ordinary server name; the ``role`` field tells them apart either way).
+ROUTER_NAME = "repro-fleet-router"
+
+
+@dataclass
+class RouterConfig:
+    """Everything tunable about one router instance."""
+
+    #: shard addresses, ``"host:port"`` each; index in this list is the
+    #: shard id used in the ring, the ``shard`` envelope field and metrics.
+    shards: Sequence[str] = field(default_factory=list)
+    host: str = "127.0.0.1"
+    port: int = 8792
+    #: address of the shared summary-store daemon (reported, not dialed --
+    #: the shards talk to it, the router only names it in ``health``).
+    store_addr: Optional[str] = None
+    #: connections kept per shard; forwarded requests beyond this queue.
+    pool_size: int = 8
+    #: analyzed programs whose (shard, source) the router remembers for
+    #: failover re-analysis; an evicted entry degrades to a broadcast query.
+    owner_capacity: int = 4096
+    #: seconds between background shard health probes.
+    health_interval: float = 2.0
+    #: per-request line cap, mirrored from the single-server default.
+    max_request_bytes: int = protocol.MAX_LINE_BYTES
+    #: honour the ``shutdown`` verb (forwarded to every shard, then self).
+    allow_shutdown: bool = False
+
+
+class _Shard:
+    """One downstream server: its address, health flag and connection pool."""
+
+    def __init__(self, shard_id: int, address: str, pool_size: int, limit: int) -> None:
+        self.shard_id = shard_id
+        self.address = address
+        host, _, port = address.rpartition(":")
+        self.host, self.port = host, int(port)
+        self.healthy = True
+        self.failures = 0
+        self.pool_size = pool_size
+        self.limit = limit
+        self._idle: List[AsyncTypeQueryClient] = []
+        self._leased = 0
+        self._available = asyncio.Condition()
+
+    async def acquire(self) -> AsyncTypeQueryClient:
+        async with self._available:
+            while not self._idle and self._leased >= self.pool_size:
+                await self._available.wait()
+            if self._idle:
+                self._leased += 1
+                return self._idle.pop()
+            self._leased += 1
+        try:
+            return await AsyncTypeQueryClient.connect(
+                self.host, self.port, limit=self.limit
+            )
+        except BaseException:
+            async with self._available:
+                self._leased -= 1
+                self._available.notify()
+            raise
+
+    async def release(self, client: AsyncTypeQueryClient, broken: bool) -> None:
+        if broken:
+            await client.aclose()
+        async with self._available:
+            self._leased -= 1
+            if not broken and len(self._idle) < self.pool_size:
+                self._idle.append(client)
+                client = None  # type: ignore[assignment]
+            self._available.notify()
+        if client is not None and not broken:
+            await client.aclose()
+
+    async def call(self, op: str, params: Optional[Dict[str, object]] = None):
+        """One forwarded request on a pooled connection.
+
+        Raises :class:`ServerConnectionError`/``OSError`` when the shard is
+        unreachable (the caller's cue to fail over) and plain
+        :class:`TypeQueryError` for deterministic server answers.
+        """
+        client = await self.acquire()
+        broken = False
+        try:
+            return await client.request(op, params)
+        except (ServerConnectionError, OSError):
+            broken = True
+            raise
+        finally:
+            await self.release(client, broken)
+
+    async def drain(self) -> None:
+        async with self._available:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            await client.aclose()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "address": self.address,
+            "healthy": self.healthy,
+            "failures": self.failures,
+        }
+
+
+def _route_key(kind: str, source: str) -> str:
+    """The ring key for a submitted program: a digest of what the client sent.
+
+    Deliberately *not* the registry's program id (that mixes in the
+    environment fingerprint the router does not compute); any stable function
+    of the submission works, because shards agree on ids themselves.
+    """
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class FleetRouter:
+    """The asyncio router daemon.  Construct, ``await start()``, then serve."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        if not config.shards:
+            raise ValueError("a fleet router needs at least one shard address")
+        self.config = config
+        self.shards: Dict[int, _Shard] = {
+            index: _Shard(index, address, config.pool_size, config.max_request_bytes)
+            for index, address in enumerate(config.shards)
+        }
+        self.ring = HashRing(list(self.shards))
+        #: program_id -> {"shard": id, "source": str, "kind": str}; the
+        #: replication ledger that makes failover re-analysis possible.
+        self._owners: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        #: client-visible session id -> {"shard", "remote_id", "source",
+        #: "kind", "edits"}; re-homed transparently on shard failure.
+        self._sessions: Dict[str, Dict[str, object]] = {}
+        self.metrics = install_default()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._monitor: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+        self._started = 0.0
+        self.requests_served = 0
+        self.errors_returned = 0
+        self.reanalyses = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_request_bytes,
+        )
+        self._started = time.monotonic()
+        self._monitor = asyncio.create_task(self._health_monitor())
+        sockname = self._server.sockets[0].getsockname()
+        host, port = sockname[0], sockname[1]
+        logger.info(
+            "fleet router listening on %s:%d over %d shards", host, port, len(self.shards)
+        )
+        return host, port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None and self._stopping is not None
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Graceful drain: stop accepting, finish live handlers, close pools."""
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.cancel()
+            try:
+                await self._monitor
+            except asyncio.CancelledError:
+                pass
+            self._monitor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for shard in self.shards.values():
+            await shard.drain()
+
+    # -- shard health ----------------------------------------------------------
+
+    def _mark_failed(self, shard: _Shard, exc: BaseException) -> None:
+        shard.failures += 1
+        if shard.healthy:
+            shard.healthy = False
+            self.ring.remove(shard.shard_id)
+            self.metrics.counter(
+                "fleet_shard_failed_total", shard=str(shard.shard_id)
+            ).inc()
+            logger.warning(
+                "shard %d (%s) marked unhealthy: %s", shard.shard_id, shard.address, exc
+            )
+
+    def _mark_healthy(self, shard: _Shard) -> None:
+        if not shard.healthy:
+            shard.healthy = True
+            self.ring.add(shard.shard_id)
+            logger.info("shard %d (%s) re-admitted", shard.shard_id, shard.address)
+
+    async def _health_monitor(self) -> None:
+        """Probe every shard each interval; flip health flags and the ring."""
+        while True:
+            await asyncio.sleep(self.config.health_interval)
+            for shard in self.shards.values():
+                try:
+                    await shard.call("health")
+                except (TypeQueryError, OSError) as exc:
+                    if isinstance(exc, (ServerConnectionError, OSError)):
+                        self._mark_failed(shard, exc)
+                else:
+                    self._mark_healthy(shard)
+
+    def _healthy_shards(self) -> List[_Shard]:
+        return [shard for shard in self.shards.values() if shard.healthy]
+
+    def _preference(self, key: str) -> Iterator[_Shard]:
+        """Healthy shards in the key's failover order (ring holds only healthy)."""
+        for shard_id in self.ring.nodes_for(key):
+            shard = self.shards[shard_id]
+            if shard.healthy:
+                yield shard
+
+    # -- forwarding core -------------------------------------------------------
+
+    async def _forward(
+        self, key: str, op: str, params: Dict[str, object]
+    ) -> Tuple[int, object]:
+        """Send ``op`` to the key's shard, failing over down the ring.
+
+        Connection deaths requeue on the next shard; a typed ``overloaded``
+        also tries the next shard (the shared store makes any shard an equal
+        substitute), while every other typed error is the shard's final
+        answer and propagates.
+        """
+        last_error: Optional[BaseException] = None
+        for shard in self._preference(key):
+            try:
+                result = await shard.call(op, params)
+                return shard.shard_id, result
+            except (ServerConnectionError, OSError) as exc:
+                self._mark_failed(shard, exc)
+                last_error = exc
+            except TypeQueryError as exc:
+                if exc.code != ErrorCode.OVERLOADED:
+                    raise
+                last_error = exc
+        if isinstance(last_error, TypeQueryError):
+            raise ProtocolError(last_error.code, last_error.message)
+        raise ProtocolError(
+            ErrorCode.INTERNAL_ERROR,
+            f"no healthy shard could serve {op!r}"
+            + (f" (last error: {last_error})" if last_error else ""),
+        )
+
+    def _remember_owner(self, program_id: str, shard_id: int, source: str, kind: str) -> None:
+        self._owners[program_id] = {"shard": shard_id, "source": source, "kind": kind}
+        self._owners.move_to_end(program_id)
+        while len(self._owners) > self.config.owner_capacity:
+            self._owners.popitem(last=False)
+
+    async def _reanalyze(self, owner: Dict[str, object], program_id: str) -> int:
+        """Re-home a program on a healthy shard via its remembered source.
+
+        Near-free by construction: every SCC summary the original analysis
+        produced is a warm hit in the shared store, so the new shard mostly
+        reassembles sketches.
+        """
+        source, kind = str(owner["source"]), str(owner["kind"])
+        shard_id, _ = await self._forward(
+            _route_key(kind, source), "analyze", {"source": source, "kind": kind}
+        )
+        owner["shard"] = shard_id
+        self.reanalyses += 1
+        self.metrics.counter("fleet_reanalyses_total").inc()
+        logger.info("re-analyzed %s on shard %d after failover", program_id, shard_id)
+        return shard_id
+
+    # -- connection handling (same framing discipline as the single server) ----
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.errors_returned += 1
+                    writer.write(
+                        protocol.encode(
+                            protocol.make_error(
+                                None,
+                                ErrorCode.TOO_LARGE,
+                                f"request line exceeds {self.config.max_request_bytes} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> Dict[str, object]:
+        request_id: Optional[int] = None
+        op = "unknown"
+        try:
+            message = protocol.decode_line(line)
+            candidate = message.get("id")
+            if isinstance(candidate, (int, str)):
+                request_id = candidate
+            op, params, request_id = protocol.validate_request(message)
+            shard_id, result = await self._dispatch(op, params)
+            self.requests_served += 1
+            self.metrics.counter("fleet_requests_total", verb=op).inc()
+            response = protocol.make_response(request_id, result)
+            # Routing metadata rides the *envelope*, never the result: the
+            # payload must stay byte-identical to a single server's.
+            response["shard"] = shard_id if shard_id is not None else "router"
+            return response
+        except ProtocolError as exc:
+            self.errors_returned += 1
+            self.metrics.counter("fleet_errors_total", verb=op, code=exc.code).inc()
+            return protocol.make_error(request_id, exc.code, exc.message)
+        except TypeQueryError as exc:
+            # A shard's typed error, relayed verbatim.
+            self.errors_returned += 1
+            self.metrics.counter("fleet_errors_total", verb=op, code=exc.code).inc()
+            return protocol.make_error(request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - the router must not die
+            logger.exception("internal error routing request")
+            self.errors_returned += 1
+            self.metrics.counter(
+                "fleet_errors_total", verb=op, code=ErrorCode.INTERNAL_ERROR
+            ).inc()
+            return protocol.make_error(
+                request_id, ErrorCode.INTERNAL_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch(
+        self, op: str, params: Dict[str, object]
+    ) -> Tuple[Optional[int], object]:
+        handler = {
+            "ping": self._op_ping,
+            "health": self._op_health,
+            "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "analyze": self._op_analyze,
+            "query": self._op_query,
+            "corpus": self._op_corpus,
+            "session.open": self._op_session_open,
+            "session.edit": self._op_session_edit,
+            "session.close": self._op_session_close,
+            "shutdown": self._op_shutdown,
+        }[op]
+        return await handler(params)
+
+    def _pinned_shard(self, params: Dict[str, object]) -> Optional[_Shard]:
+        """Honour a ``shard`` param on stats/metrics/health: pin one shard."""
+        pin = params.get("shard")
+        if pin is None:
+            return None
+        if not isinstance(pin, int) or pin not in self.shards:
+            raise ProtocolError(
+                ErrorCode.INVALID_PARAMS,
+                f"unknown shard {pin!r} (fleet has shards 0..{len(self.shards) - 1})",
+            )
+        return self.shards[pin]
+
+    async def _op_ping(self, params: Dict[str, object]) -> Tuple[None, object]:
+        return None, {
+            "server": ROUTER_NAME,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": __version__,
+            "pid": os.getpid(),
+            "role": "router",
+            "shards": len(self.shards),
+        }
+
+    async def _op_health(self, params: Dict[str, object]) -> Tuple[object, object]:
+        pinned = self._pinned_shard(params)
+        if pinned is not None:
+            return pinned.shard_id, await pinned.call("health")
+        rows: Dict[str, object] = {}
+        healthy = 0
+        for shard_id, shard in sorted(self.shards.items()):
+            try:
+                row = await shard.call("health")
+                healthy += 1
+            except (TypeQueryError, OSError) as exc:
+                if isinstance(exc, (ServerConnectionError, OSError)):
+                    self._mark_failed(shard, exc)
+                row = {"healthy": False, "error": str(exc)}
+            rows[str(shard_id)] = {**shard.snapshot(), **(row if isinstance(row, dict) else {})}
+        return None, {
+            "healthy": healthy > 0,
+            "role": "router",
+            "shards_total": len(self.shards),
+            "shards_healthy": healthy,
+            "store_addr": self.config.store_addr,
+            "shards": rows,
+        }
+
+    async def _op_stats(self, params: Dict[str, object]) -> Tuple[object, object]:
+        pinned = self._pinned_shard(params)
+        if pinned is not None:
+            forwarded = {k: v for k, v in params.items() if k != "shard"}
+            return pinned.shard_id, await pinned.call("stats", forwarded)
+        if params.get("program_id") is not None:
+            # Per-program stats follow the same ownership routing as query.
+            return await self._routed_program_op("stats", params)
+        return None, {
+            "role": "router",
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests_served": self.requests_served,
+            "errors_returned": self.errors_returned,
+            "reanalyses": self.reanalyses,
+            "owners_tracked": len(self._owners),
+            "sessions_open": len(self._sessions),
+            "store_addr": self.config.store_addr,
+            "shards": {
+                str(shard_id): shard.snapshot()
+                for shard_id, shard in sorted(self.shards.items())
+            },
+        }
+
+    async def _op_metrics(self, params: Dict[str, object]) -> Tuple[object, object]:
+        pinned = self._pinned_shard(params)
+        if pinned is not None:
+            forwarded = {k: v for k, v in params.items() if k != "shard"}
+            return pinned.shard_id, await pinned.call("metrics", forwarded)
+        fmt = params.get("format", "json")
+        if not isinstance(fmt, str):
+            raise ProtocolError(ErrorCode.INVALID_PARAMS, "format must be a string")
+        return None, protocol.metrics_payload(self.metrics, fmt)
+
+    async def _op_analyze(self, params: Dict[str, object]) -> Tuple[int, object]:
+        source = protocol.require_str(params, "source")
+        kind = protocol.source_kind(params)
+        shard_id, result = await self._forward(_route_key(kind, source), "analyze", params)
+        if isinstance(result, dict) and isinstance(result.get("program_id"), str):
+            self._remember_owner(result["program_id"], shard_id, source, kind)
+        return shard_id, result
+
+    async def _routed_program_op(
+        self, op: str, params: Dict[str, object]
+    ) -> Tuple[int, object]:
+        """query/per-program-stats routing: owner shard, else re-home, else
+        broadcast (the owner record was evicted or predates this router)."""
+        program_id = protocol.require_str(params, "program_id")
+        owner = self._owners.get(program_id)
+        if owner is not None:
+            self._owners.move_to_end(program_id)
+            shard = self.shards[int(owner["shard"])]
+            if shard.healthy:
+                try:
+                    return shard.shard_id, await shard.call(op, params)
+                except (ServerConnectionError, OSError) as exc:
+                    self._mark_failed(shard, exc)
+                except TypeQueryError as exc:
+                    if exc.code != ErrorCode.UNKNOWN_PROGRAM:
+                        raise
+                    # The shard's registry evicted it; fall through to re-home.
+            shard_id = await self._reanalyze(owner, program_id)
+            return shard_id, await self.shards[shard_id].call(op, params)
+        # Unknown owner: ask every healthy shard (cheap registry lookups).
+        for shard in self._healthy_shards():
+            try:
+                result = await shard.call(op, params)
+                return shard.shard_id, result
+            except (ServerConnectionError, OSError) as exc:
+                self._mark_failed(shard, exc)
+            except TypeQueryError as exc:
+                if exc.code != ErrorCode.UNKNOWN_PROGRAM:
+                    raise
+        raise ProtocolError(
+            ErrorCode.UNKNOWN_PROGRAM,
+            f"no shard has analyzed program {program_id!r} (analyze it first)",
+        )
+
+    async def _op_query(self, params: Dict[str, object]) -> Tuple[int, object]:
+        return await self._routed_program_op("query", params)
+
+    async def _op_corpus(self, params: Dict[str, object]) -> Tuple[int, object]:
+        programs = params.get("programs")
+        if not isinstance(programs, dict) or not programs:
+            raise ProtocolError(
+                ErrorCode.INVALID_PARAMS,
+                "corpus needs a non-empty 'programs' object: name -> "
+                "{'source': ..., 'kind': 'asm'|'c'}",
+            )
+        # One shard takes the whole batch (cluster members reuse each other's
+        # summaries best in one store session); the key hashes the batch.
+        digest = hashlib.sha256()
+        for name in sorted(programs):
+            digest.update(name.encode("utf-8", "replace"))
+            digest.update(b"\x00")
+        shard_id, result = await self._forward(digest.hexdigest(), "corpus", params)
+        if isinstance(result, dict) and isinstance(result.get("programs"), dict):
+            for name, row in result["programs"].items():
+                entry = programs.get(name)
+                if isinstance(entry, str):
+                    entry = {"source": entry}
+                if (
+                    isinstance(row, dict)
+                    and isinstance(row.get("program_id"), str)
+                    and isinstance(entry, dict)
+                    and isinstance(entry.get("source"), str)
+                ):
+                    self._remember_owner(
+                        row["program_id"],
+                        shard_id,
+                        entry["source"],
+                        str(entry.get("kind", "asm")),
+                    )
+        return shard_id, result
+
+    # -- sessions --------------------------------------------------------------
+
+    async def _op_session_open(self, params: Dict[str, object]) -> Tuple[int, object]:
+        source = protocol.require_str(params, "source")
+        kind = protocol.source_kind(params)
+        shard_id, result = await self._forward(
+            _route_key(kind, source), "session.open", params
+        )
+        if isinstance(result, dict) and isinstance(result.get("session_id"), str):
+            self._sessions[result["session_id"]] = {
+                "shard": shard_id,
+                "remote_id": result["session_id"],
+                "source": source,
+                "kind": kind,
+                "edits": 0,
+            }
+        return shard_id, result
+
+    async def _op_session_edit(self, params: Dict[str, object]) -> Tuple[int, object]:
+        session_id = protocol.require_str(params, "session_id")
+        source = protocol.require_str(params, "source")
+        kind = protocol.source_kind(params)
+        state = self._sessions.get(session_id)
+        if state is None:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_SESSION, f"no open session {session_id!r}"
+            )
+        shard = self.shards[int(state["shard"])]
+        if shard.healthy:
+            try:
+                forwarded = dict(params)
+                forwarded["session_id"] = state["remote_id"]
+                result = await shard.call("session.edit", forwarded)
+                if isinstance(result, dict):
+                    result["session_id"] = session_id
+                    state["edits"] = result.get("edits", state["edits"])
+                state["source"], state["kind"] = source, kind
+                return shard.shard_id, result
+            except (ServerConnectionError, OSError) as exc:
+                self._mark_failed(shard, exc)
+            except TypeQueryError as exc:
+                if exc.code != ErrorCode.UNKNOWN_SESSION:
+                    raise
+                # The shard restarted (or reclaimed the slot); re-home below.
+        # Re-home: open a fresh session on a healthy shard with the edited
+        # source.  The client keeps its original session id; the incremental
+        # diff against the pre-edit state is lost for this one edit (the new
+        # shard analyzes from the shared warm store instead).
+        new_shard_id, result = await self._forward(
+            _route_key(kind, source), "session.open", params
+        )
+        if isinstance(result, dict) and isinstance(result.get("session_id"), str):
+            edits = int(state.get("edits", 0)) + 1
+            self._sessions[session_id] = {
+                "shard": new_shard_id,
+                "remote_id": result["session_id"],
+                "source": source,
+                "kind": kind,
+                "edits": edits,
+            }
+            result["session_id"] = session_id
+            result["edits"] = edits
+        self.metrics.counter("fleet_sessions_rehomed_total").inc()
+        return new_shard_id, result
+
+    async def _op_session_close(self, params: Dict[str, object]) -> Tuple[object, object]:
+        session_id = protocol.require_str(params, "session_id")
+        state = self._sessions.pop(session_id, None)
+        if state is None:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_SESSION, f"no open session {session_id!r}"
+            )
+        shard = self.shards[int(state["shard"])]
+        if shard.healthy:
+            try:
+                forwarded = dict(params)
+                forwarded["session_id"] = state["remote_id"]
+                result = await shard.call("session.close", forwarded)
+                if isinstance(result, dict):
+                    result["session_id"] = session_id
+                return shard.shard_id, result
+            except (ServerConnectionError, OSError) as exc:
+                self._mark_failed(shard, exc)
+            except TypeQueryError as exc:
+                if exc.code != ErrorCode.UNKNOWN_SESSION:
+                    raise
+        # The owning shard is gone; the server-side state died with it, so
+        # closing is trivially done.
+        return None, {
+            "session_id": session_id,
+            "closed": True,
+            "edits": state.get("edits", 0),
+        }
+
+    async def _op_shutdown(self, params: Dict[str, object]) -> Tuple[None, object]:
+        if not self.config.allow_shutdown:
+            raise ProtocolError(
+                ErrorCode.SHUTDOWN_DISABLED,
+                "remote shutdown is disabled (start the fleet with --allow-shutdown)",
+            )
+        stopped = []
+        for shard in self._healthy_shards():
+            try:
+                await shard.call("shutdown")
+                stopped.append(shard.shard_id)
+            except (TypeQueryError, OSError):
+                pass
+        assert self._stopping is not None
+        self._stopping.set()
+        return None, {"stopping": True, "shards_stopped": stopped}

@@ -1,0 +1,237 @@
+"""The fleet acceptance harness: ``python -m repro.fleet.smoke``.
+
+Proves the three fleet guarantees end-to-end, the way CI consumes them:
+
+1. **byte-identity** -- a fleet's ``query`` payloads are fingerprint-identical
+   to a single server's over a generated corpus (routing must never alter a
+   result);
+2. **failover** -- with one shard SIGKILLed mid-corpus, every request still
+   succeeds (no client-visible error beyond internally-retried transients)
+   and the fingerprints still match;
+3. **shared warmth** -- after failover, a surviving shard shows socket-store
+   hits for programs it never analyzed (the re-homed analyses were served
+   from the shared pool, not re-solved).
+
+Both passes run real subprocesses via the public CLI, so this exercises the
+launcher, the router, the store daemon and the shards exactly as an operator
+would.  Exit status 0 means all three guarantees held; the JSON report on
+stdout (and optionally ``--json``) carries the evidence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gen import GenProfile, generate_corpus
+from ..server.client import RetryPolicy, TypeQueryClient
+
+_LISTEN_RE = re.compile(r"listening on ([0-9a-fA-F.:\[\]]+):(\d+)")
+
+
+def payload_fingerprint(payload: Dict[str, object]) -> str:
+    """Digest of a whole-program ``query`` payload, minus identity/timing.
+
+    ``program_id`` differs from nothing (it is content-derived) but is
+    excluded for symmetry with :func:`repro.gen.oracle.result_fingerprint`;
+    ``stats`` is excluded because scheduling and cache state legitimately
+    differ between a cold single server and a fleet.
+    """
+    scrubbed = {k: v for k, v in payload.items() if k not in ("program_id", "stats")}
+    canonical = json.dumps(scrubbed, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _spawn(command: List[str], timeout: float) -> Tuple[subprocess.Popen, str, int]:
+    """Start a server/fleet subprocess and parse its listen banner."""
+    from .launcher import child_environment
+
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=None, text=True, env=child_environment()
+    )
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"{' '.join(command)} exited with {process.returncode} during startup"
+            )
+        line = process.stdout.readline()
+        if not line:
+            continue
+        match = _LISTEN_RE.search(line)
+        if match:
+            return process, match.group(1), int(match.group(2))
+    process.kill()
+    raise RuntimeError(f"no listen banner within {timeout}s from {' '.join(command)}")
+
+
+def _stop(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+    if process.stdout is not None:
+        process.stdout.close()
+
+
+def _fingerprint_program(client: TypeQueryClient, source: str) -> Tuple[str, str]:
+    result = client.analyze(source, kind="c")
+    program_id = result["program_id"]
+    return program_id, payload_fingerprint(client.query(program_id))
+
+
+def run_smoke(
+    programs: int = 20,
+    shards: int = 2,
+    seed: int = 20160613,
+    kill_after: Optional[int] = None,
+    startup_timeout: float = 120.0,
+) -> Dict[str, object]:
+    """The full harness; returns the report dict (``report["ok"]`` gates CI)."""
+    corpus = generate_corpus(programs, seed, GenProfile.smoke(), name_prefix="fleetsmoke")
+    kill_index = kill_after if kill_after is not None else max(1, programs // 3)
+    report: Dict[str, object] = {
+        "programs": programs,
+        "shards": shards,
+        "seed": seed,
+        "kill_after": kill_index,
+        "mismatches": [],
+        "requery_mismatches": [],
+    }
+
+    # -- pass 1: the single-server reference --------------------------------
+    reference: Dict[str, str] = {}
+    single_cmd = [sys.executable, "-m", "repro.server", "--port", "0"]
+    process, host, port = _spawn(single_cmd, startup_timeout)
+    try:
+        with TypeQueryClient(host, port, timeout=300.0, connect_retries=50) as client:
+            for program in corpus:
+                program_id, fingerprint = _fingerprint_program(client, program.source)
+                reference[program.name] = fingerprint
+    finally:
+        _stop(process)
+
+    # -- pass 2: the fleet, with one shard killed mid-corpus ----------------
+    fleet_cmd = [
+        sys.executable,
+        "-m",
+        "repro.server",
+        "--fleet",
+        str(shards),
+        "--port",
+        "0",
+    ]
+    process, host, port = _spawn(fleet_cmd, startup_timeout)
+    killed_pid: Optional[int] = None
+    try:
+        retry = RetryPolicy(attempts=8, base_delay=0.2, max_delay=3.0)
+        with TypeQueryClient(
+            host, port, timeout=300.0, connect_retries=50, retry=retry
+        ) as client:
+            ids: Dict[str, str] = {}
+            for index, program in enumerate(corpus):
+                if index == kill_index and shards > 1:
+                    killed_pid = _kill_one_shard(client)
+                    report["killed_pid"] = killed_pid
+                program_id, fingerprint = _fingerprint_program(client, program.source)
+                ids[program.name] = program_id
+                if fingerprint != reference[program.name]:
+                    report["mismatches"].append(program.name)
+            # Re-query everything: programs homed on the dead shard must be
+            # served anyway (lazy replication + shared-store re-analysis).
+            for program in corpus:
+                fingerprint = payload_fingerprint(client.query(ids[program.name]))
+                if fingerprint != reference[program.name]:
+                    report["requery_mismatches"].append(program.name)
+            report["shard_stats"] = _collect_shard_stats(client)
+            router_stats = client.stats()
+            report["reanalyses"] = router_stats.get("reanalyses")
+    finally:
+        _stop(process)
+
+    remote_hits = sum(
+        row.get("store", {}).get("remote_hits", 0)
+        for row in report["shard_stats"].values()
+    )
+    report["remote_hits"] = remote_hits
+    report["ok"] = (
+        not report["mismatches"]
+        and not report["requery_mismatches"]
+        and remote_hits > 0
+        and (shards < 2 or killed_pid is not None)
+    )
+    return report
+
+
+def _kill_one_shard(client: TypeQueryClient) -> int:
+    """SIGKILL the first healthy shard the router reports; returns its pid."""
+    health = client.health()
+    for row in health.get("shards", {}).values():
+        pid = row.get("pid")
+        if row.get("healthy") and isinstance(pid, int):
+            os.kill(pid, signal.SIGKILL)
+            return pid
+    raise RuntimeError(f"no healthy shard to kill in {health!r}")
+
+
+def _collect_shard_stats(client: TypeQueryClient) -> Dict[str, Dict[str, object]]:
+    """Per-live-shard daemon stats (store hit counters included)."""
+    rows: Dict[str, Dict[str, object]] = {}
+    health = client.health()
+    for shard_id, row in health.get("shards", {}).items():
+        if not row.get("healthy"):
+            rows[shard_id] = {"healthy": False}
+            continue
+        stats = client.request("stats", {"shard": int(shard_id)})
+        rows[shard_id] = {
+            "healthy": True,
+            "store": stats.get("store", {}),
+            "requests_served": stats.get("requests_served"),
+        }
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.smoke",
+        description="Fleet acceptance: byte-identity, failover, shared warmth.",
+    )
+    parser.add_argument("--programs", type=int, default=20, help="corpus size (default: %(default)s)")
+    parser.add_argument("--shards", type=int, default=2, help="fleet width (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=20160613, help="corpus seed (default: %(default)s)")
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        help="kill one shard after this many programs (default: a third in)",
+    )
+    parser.add_argument("--json", default=None, help="also write the report to this path")
+    args = parser.parse_args(argv)
+    report = run_smoke(
+        programs=args.programs,
+        shards=args.shards,
+        seed=args.seed,
+        kill_after=args.kill_after,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""The shared summary-store daemon: one warm pool for every fleet shard.
+
+A thin socket front over one :class:`~repro.service.store.SummaryStore`
+(in-memory LRU, optionally disk-backed).  Shards connect through
+:class:`~repro.service.store.SocketStoreBackend` and speak one JSON object
+per line:
+
+========= ======================================== ==============================
+op        request fields                           reply fields (plus ``ok``)
+========= ======================================== ==============================
+``ping``  --                                       ``server``, ``format``, ``pid``
+``get``   ``key``                                  ``payload`` (or ``null``)
+``put``   ``key``, ``payload``                     ``stored``
+``contains`` ``key``                               ``contains``
+``stats`` --                                       ``stats``, ``entries``, ``clients``
+========= ======================================== ==============================
+
+Malformed lines are answered with ``{"ok": false, "error": …}`` and the
+connection stays open; the daemon never dies on client input.  The handshake
+(``ping`` echoing ``STORE_FORMAT``) lets clients refuse version-skewed
+daemons, so a format bump reads as an empty store, never as corruption.
+
+Threading model: ``socketserver.ThreadingTCPServer`` -- one thread per
+connected shard, all sharing the thread-safe store.  Shard counts are small
+(one connection per shard process plus the router), so thread-per-connection
+is the simple, correct choice here; the request path is a dict lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..obs.metrics import get_registry
+from ..service.store import STORE_FORMAT, STORE_SERVER_NAME, SummaryStore
+
+logger = logging.getLogger("repro.fleet.store")
+
+#: cap on one request line (a serialized SCC summary is well under this).
+MAX_STORE_LINE = 32 * 1024 * 1024
+
+
+class _StoreHandler(socketserver.StreamRequestHandler):
+    """One connected shard; loops over newline-JSON requests until hangup."""
+
+    def handle(self) -> None:
+        server: "_StoreTCPServer" = self.server  # type: ignore[assignment]
+        server.clients_connected += 1
+        server.live_connections.add(self.connection)
+        try:
+            while True:
+                line = self.rfile.readline(MAX_STORE_LINE)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    reply = server.respond(line)
+                except Exception as exc:  # noqa: BLE001 - daemon must not die
+                    logger.exception("store daemon internal error")
+                    reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                self.wfile.write(
+                    (json.dumps(reply, separators=(",", ":")) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            server.clients_connected -= 1
+            server.live_connections.discard(self.connection)
+
+
+class _StoreTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], store: SummaryStore) -> None:
+        super().__init__(address, _StoreHandler)
+        self.store = store
+        self.clients_connected = 0
+        self.requests_served = 0
+        self.live_connections: set = set()
+
+    def respond(self, line: bytes) -> Dict[str, object]:
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return {"ok": False, "error": f"unparseable request line: {exc}"}
+        if not isinstance(message, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = message.get("op")
+        self.requests_served += 1
+        registry = get_registry()
+        registry.counter("fleet_store_requests_total", op=str(op)).inc()
+        if op == "ping":
+            return {
+                "ok": True,
+                "server": STORE_SERVER_NAME,
+                "format": STORE_FORMAT,
+                "pid": os.getpid(),
+            }
+        if op == "get":
+            key = message.get("key")
+            if not isinstance(key, str):
+                return {"ok": False, "error": "get needs a string 'key'"}
+            return {"ok": True, "payload": self.store.get_payload(key)}
+        if op == "put":
+            key, payload = message.get("key"), message.get("payload")
+            if not isinstance(key, str) or not isinstance(payload, dict):
+                return {"ok": False, "error": "put needs 'key' (str) and 'payload' (object)"}
+            if payload.get("format") != STORE_FORMAT:
+                # A mis-versioned client must not poison the shared pool.
+                return {"ok": False, "error": f"payload format is not {STORE_FORMAT}"}
+            self.store.admit_payload(key, payload)
+            return {"ok": True, "stored": True}
+        if op == "contains":
+            key = message.get("key")
+            if not isinstance(key, str):
+                return {"ok": False, "error": "contains needs a string 'key'"}
+            return {"ok": True, "contains": key in self.store}
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": self.store.stats.snapshot(),
+                "entries": len(self.store),
+                "clients": self.clients_connected,
+                "requests": self.requests_served,
+            }
+        return {"ok": False, "error": f"unknown store op {op!r}"}
+
+
+class SummaryStoreServer:
+    """The daemon: construct, :meth:`start`, read :attr:`port`, :meth:`close`.
+
+    Runs its accept loop on a daemon thread, so the fleet launcher (or a
+    test) hosts it in-process.  ``cache_dir`` adds the disk tier underneath
+    the shared memory pool: the fleet then survives a store-daemon restart
+    with its summaries intact.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int = 16384,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.store = SummaryStore(capacity=capacity, cache_dir=cache_dir)
+        self._server = _StoreTCPServer((host, port), self.store)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "SummaryStoreServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-store-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("summary-store daemon listening on %s", self.address)
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "address": self.address,
+            "entries": len(self.store),
+            "clients": self._server.clients_connected,
+            "requests": self._server.requests_served,
+            "stats": self.store.stats.snapshot(),
+        }
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        # Sever live shard connections too: a closed daemon must read as
+        # *down* to its clients (they degrade to misses), not as hung.
+        for connection in list(self._server.live_connections):
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "SummaryStoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

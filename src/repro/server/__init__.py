@@ -26,7 +26,13 @@ in ``docs/operations.md``.
 """
 
 from .app import ServerConfig, TypeQueryServer, run_server
-from .client import AsyncTypeQueryClient, TypeQueryClient, TypeQueryError
+from .client import (
+    AsyncTypeQueryClient,
+    RetryPolicy,
+    ServerConnectionError,
+    TypeQueryClient,
+    TypeQueryError,
+)
 from .protocol import PROTOCOL_VERSION, ErrorCode, ProtocolError
 from .registry import ProgramRegistry
 
@@ -36,7 +42,9 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProgramRegistry",
     "ProtocolError",
+    "RetryPolicy",
     "ServerConfig",
+    "ServerConnectionError",
     "TypeQueryClient",
     "TypeQueryError",
     "TypeQueryServer",

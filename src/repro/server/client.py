@@ -12,14 +12,22 @@ verb-per-method surface::
 Server-side failures surface as :class:`TypeQueryError` carrying the typed
 error code, so callers can distinguish a mistyped procedure name
 (``unknown_procedure``) from a saturated server (``overloaded``).
+
+Both clients optionally retry transient failures: pass a
+:class:`RetryPolicy` (``retry=RetryPolicy(attempts=5)``) and a typed
+``overloaded`` reply or a refused/dropped connection is retried with
+jittered exponential backoff (reconnecting first when the transport died).
+Retry is **off by default** -- a bare client fails fast, exactly as before.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from . import protocol
@@ -33,6 +41,54 @@ class TypeQueryError(RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class ServerConnectionError(TypeQueryError):
+    """The transport died mid-request (server closed the connection).
+
+    A distinct type so the retry loop can tell "reconnect and try again"
+    from deterministic server errors that must not be retried.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with jittered exponential backoff.
+
+    Only two failure shapes are retried, because only they are transient by
+    construction: a typed ``overloaded`` reply (the admission gate is full
+    *right now*) and a refused or dropped connection (a server or fleet
+    shard is restarting / failing over).  Everything else -- parse errors,
+    unknown programs, bad params -- is deterministic; retrying would just
+    repeat the failure slower.
+
+    ``attempts`` counts *extra* tries after the first, so the default
+    ``RetryPolicy()`` with ``attempts=3`` makes at most 4 requests.  Delays
+    grow as ``base_delay * multiplier**attempt`` capped at ``max_delay``,
+    then take full jitter in ``[d/2, d]`` so a thundering herd of retrying
+    clients decorrelates instead of re-stampeding in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.1
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        bounded = min(self.max_delay, self.base_delay * (self.multiplier**attempt))
+        return bounded * (0.5 + random.random() / 2)
+
+
+def _retryable(exc: BaseException) -> bool:
+    if isinstance(exc, ServerConnectionError):
+        return True
+    if isinstance(exc, TypeQueryError):
+        return exc.code == protocol.ErrorCode.OVERLOADED
+    return isinstance(exc, OSError)
+
+
+def _needs_reconnect(exc: BaseException) -> bool:
+    return isinstance(exc, (ServerConnectionError, OSError))
 
 
 def _check_reply(reply: Mapping[str, object], request_id: object) -> object:
@@ -68,6 +124,12 @@ class _VerbMixin:
     def ping(self):
         """Liveness/version check: server name, protocol version, pid."""
         return self.request("ping")
+
+    def health(self):
+        """Operational liveness: uptime, pending analyses, open sessions,
+        mounted store backend -- and, behind a fleet router, per-shard rows
+        (see docs/protocol.md).  Cheaper than ``stats``; built for pollers."""
+        return self.request("health")
 
     def stats(self, program_id: Optional[str] = None):
         """Daemon counters, or -- given a ``program_id`` -- the per-stage
@@ -140,7 +202,9 @@ class TypeQueryClient(_VerbMixin):
     """Blocking client over a plain TCP socket.
 
     ``connect_retries``/``connect_delay`` let scripts race a server that is
-    still starting up (the CI smoke test does exactly that).
+    still starting up (the CI smoke test does exactly that).  ``retry``
+    additionally retries ``overloaded`` replies and dropped connections
+    per-request with backoff (off when ``None``, the default).
     """
 
     def __init__(
@@ -150,17 +214,19 @@ class TypeQueryClient(_VerbMixin):
         timeout: float = 60.0,
         connect_retries: int = 0,
         connect_delay: float = 0.2,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = None
         self._file = None
         last_error: Optional[Exception] = None
         for attempt in range(connect_retries + 1):
             try:
-                self._sock = socket.create_connection((host, port), timeout=timeout)
+                self._connect()
                 break
             except OSError as exc:
                 last_error = exc
@@ -168,17 +234,42 @@ class TypeQueryClient(_VerbMixin):
                     raise
                 time.sleep(connect_delay)
         assert self._sock is not None, last_error
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
         self._file = self._sock.makefile("rwb")
 
     def request(self, op: str, params: Optional[Mapping[str, object]] = None):
-        if self._file is None:
+        if self._file is None and self.retry is None:
             raise TypeQueryError(protocol.ErrorCode.BAD_REQUEST, "client is closed")
+        attempt = 0
+        while True:
+            try:
+                if self._file is None:
+                    self._connect()
+                return self._request_once(op, params)
+            except (TypeQueryError, OSError) as exc:
+                if (
+                    self.retry is None
+                    or attempt >= self.retry.attempts
+                    or not _retryable(exc)
+                ):
+                    raise
+                if _needs_reconnect(exc):
+                    self.close()
+                time.sleep(self.retry.delay(attempt))
+                attempt += 1
+
+    def _request_once(self, op: str, params: Optional[Mapping[str, object]] = None):
+        assert self._file is not None
         request_id = next(self._ids)
         self._file.write(protocol.encode(protocol.make_request(op, params, request_id)))
         self._file.flush()
         line = self._file.readline()
         if not line:
-            raise TypeQueryError(
+            raise ServerConnectionError(
                 protocol.ErrorCode.INTERNAL_ERROR, "server closed the connection"
             )
         try:
@@ -219,10 +310,18 @@ class AsyncTypeQueryClient(_VerbMixin):
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._reader = reader
-        self._writer = writer
+        self._reader: Optional[asyncio.StreamReader] = reader
+        self._writer: Optional[asyncio.StreamWriter] = writer
+        self.retry = retry
+        # Reconnect coordinates; set by connect().  A client constructed
+        # straight from streams cannot reconnect, so connection failures
+        # stay fatal for it even under a retry policy.
+        self._endpoint: Optional[Dict[str, object]] = None
         self._ids = itertools.count(1)
         self._lock = asyncio.Lock()
 
@@ -234,18 +333,56 @@ class AsyncTypeQueryClient(_VerbMixin):
         connect_retries: int = 0,
         connect_delay: float = 0.2,
         limit: int = protocol.MAX_LINE_BYTES,
+        retry: Optional[RetryPolicy] = None,
     ) -> "AsyncTypeQueryClient":
         for attempt in range(connect_retries + 1):
             try:
                 reader, writer = await asyncio.open_connection(host, port, limit=limit)
-                return cls(reader, writer)
+                client = cls(reader, writer, retry=retry)
+                client._endpoint = {"host": host, "port": port, "limit": limit}
+                return client
             except OSError:
                 if attempt == connect_retries:
                     raise
                 await asyncio.sleep(connect_delay)
         raise AssertionError("unreachable")
 
+    async def _reconnect(self) -> None:
+        assert self._endpoint is not None
+        await self.aclose()
+        self._reader, self._writer = await asyncio.open_connection(
+            self._endpoint["host"], self._endpoint["port"], limit=self._endpoint["limit"]
+        )
+
     async def request(self, op: str, params: Optional[Mapping[str, object]] = None):
+        attempt = 0
+        while True:
+            try:
+                if self._writer is None:
+                    if self._endpoint is None:
+                        raise TypeQueryError(
+                            protocol.ErrorCode.BAD_REQUEST, "client is closed"
+                        )
+                    await self._reconnect()
+                return await self._request_once(op, params)
+            except (TypeQueryError, OSError) as exc:
+                reconnectable = self._endpoint is not None or not _needs_reconnect(exc)
+                if (
+                    self.retry is None
+                    or attempt >= self.retry.attempts
+                    or not _retryable(exc)
+                    or not reconnectable
+                ):
+                    raise
+                if _needs_reconnect(exc):
+                    await self.aclose()
+                await asyncio.sleep(self.retry.delay(attempt))
+                attempt += 1
+
+    async def _request_once(
+        self, op: str, params: Optional[Mapping[str, object]] = None
+    ):
+        assert self._reader is not None and self._writer is not None
         # One in-flight request per client: the protocol answers in order, so
         # interleaved writers would cross-correlate replies.
         async with self._lock:
@@ -256,7 +393,7 @@ class AsyncTypeQueryClient(_VerbMixin):
             await self._writer.drain()
             line = await self._reader.readline()
         if not line:
-            raise TypeQueryError(
+            raise ServerConnectionError(
                 protocol.ErrorCode.INTERNAL_ERROR, "server closed the connection"
             )
         try:
@@ -266,11 +403,16 @@ class AsyncTypeQueryClient(_VerbMixin):
         return _check_reply(reply, request_id)
 
     async def aclose(self) -> None:
+        if self._writer is None:
+            return
         try:
             self._writer.close()
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
+        finally:
+            self._reader = None
+            self._writer = None
 
     async def __aenter__(self) -> "AsyncTypeQueryClient":
         return self

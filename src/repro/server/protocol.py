@@ -73,6 +73,7 @@ class ErrorCode:
 OPERATIONS = frozenset(
     {
         "ping",
+        "health",
         "stats",
         "metrics",
         "analyze",

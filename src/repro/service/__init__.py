@@ -28,10 +28,14 @@ from .incremental import AnalysisService, IncrementalSession, ServiceConfig
 from .procpool import ProcPool, ProcessWaveRunner
 from .scheduler import ScheduleStats, WaveScheduler, choose_executor
 from .store import (
+    DiskStoreBackend,
     ProcedureSummary,
     SCCSummary,
+    SocketStoreBackend,
+    StoreBackend,
     StoreStats,
     SummaryStore,
+    make_backend,
     procedure_fingerprint,
     program_fingerprints,
     scc_summary_keys,
@@ -40,6 +44,7 @@ from .store import (
 __all__ = [
     "AnalysisService",
     "CorpusReport",
+    "DiskStoreBackend",
     "IncrementalSession",
     "ProcPool",
     "ProcedureSummary",
@@ -48,11 +53,14 @@ __all__ = [
     "SCCSummary",
     "ScheduleStats",
     "ServiceConfig",
+    "SocketStoreBackend",
+    "StoreBackend",
     "StoreStats",
     "SummaryStore",
     "WaveScheduler",
     "analyze_corpus",
     "choose_executor",
+    "make_backend",
     "procedure_fingerprint",
     "program_fingerprints",
     "scc_summary_keys",

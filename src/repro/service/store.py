@@ -26,7 +26,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import socket as socket_module
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field as dc_field
@@ -277,6 +279,8 @@ class StoreStats:
     misses: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
+    remote_errors: int = 0
     puts: int = 0
     evictions: int = 0
     quarantined: int = 0
@@ -292,6 +296,8 @@ class StoreStats:
             "misses": self.misses,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "remote_hits": self.remote_hits,
+            "remote_errors": self.remote_errors,
             "puts": self.puts,
             "evictions": self.evictions,
             "quarantined": self.quarantined,
@@ -299,38 +305,78 @@ class StoreStats:
         }
 
 
-class SummaryStore:
-    """Two-tier (LRU memory + optional JSON disk) summary cache.
+# ---------------------------------------------------------------------------
+# Pluggable persistent tiers
+# ---------------------------------------------------------------------------
 
-    The store holds raw JSON payloads, not live objects: entries are serialized
-    on :meth:`put` and deserialized on every :meth:`get`, which both keeps the
-    memory tier compact and guarantees cached summaries cannot be corrupted by
-    later in-place refinement of the sketches handed out.
 
-    The disk tier is safe to share: writes land in a uniquely-named temp file
-    and are published with an atomic ``os.replace``, so concurrent writers
-    (threads of one process, or several processes pointed at one directory)
-    can never expose a truncated entry, and a killed writer leaves only a
-    stray ``*.tmp`` behind.  Entries that are nevertheless unreadable --
-    hand-edited, disk-damaged, or written by an incompatible version -- are
-    quarantined (renamed to ``*.corrupt``) rather than raised, and count as
-    ordinary misses.
+class StoreBackend:
+    """One persistent tier of a :class:`SummaryStore`.
+
+    A backend moves raw JSON payloads (already format-stamped, see
+    ``STORE_FORMAT``) in and out of somewhere durable or shared: a local
+    directory (:class:`DiskStoreBackend`), a fleet-shared store daemon over a
+    socket (:class:`SocketStoreBackend`), or nothing at all -- the in-memory
+    LRU tier lives in the facade itself, and a store without a backend is
+    memory-only.
+
+    The contract every implementation honours:
+
+    * ``get``/``put``/``contains`` never raise on backend trouble -- a broken
+      tier degrades to misses (counted on ``stats``), it does not fail the
+      analysis that was merely trying to reuse work;
+    * payloads are opaque dicts; backends neither parse nor mutate them;
+    * implementations are thread-safe (the server drives one store from many
+      executor threads).
+
+    ``stats`` is the :class:`StoreStats` the backend reports internal events
+    on (quarantines, remote errors); the owning :class:`SummaryStore` rebinds
+    it to its own record so one snapshot covers both layers.
     """
 
-    def __init__(self, capacity: int = 4096, cache_dir: Optional[str] = None) -> None:
-        if capacity < 1:
-            raise ValueError("summary store capacity must be at least 1")
-        self.capacity = capacity
-        self.cache_dir = cache_dir
-        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
-        self._lock = threading.RLock()
+    #: discriminator surfaced by ``SummaryStore.backend_kind`` and snapshots.
+    kind = "abstract"
+
+    def __init__(self) -> None:
         self.stats = StoreStats()
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
 
-    # -- raw payload tier ------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        raise NotImplementedError
 
-    def _disk_path(self, key: str) -> str:
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; further calls degrade to misses."""
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind}
+
+
+class DiskStoreBackend(StoreBackend):
+    """The on-disk JSON tier: two-level fan-out, atomic publishes, quarantine.
+
+    Writes land in a uniquely-named temp file and are published with an atomic
+    ``os.replace``, so concurrent writers (threads of one process, or several
+    processes pointed at one directory) can never expose a truncated entry,
+    and a killed writer leaves only a stray ``*.tmp`` behind.  Entries that
+    are nevertheless unreadable -- hand-edited, disk-damaged, or written by an
+    incompatible version -- are quarantined (renamed to ``*.corrupt``) rather
+    than raised, and count as ordinary misses.
+    """
+
+    kind = "disk"
+
+    def __init__(self, cache_dir: str) -> None:
+        super().__init__()
+        self.cache_dir = cache_dir
+        self._lock = threading.Lock()
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], f"{key}.json")
 
     def _quarantine(self, path: str) -> None:
@@ -344,8 +390,8 @@ class SummaryStore:
             # either way the entry stays a miss.
             pass
 
-    def _read_disk(self, key: str) -> Optional[Dict[str, object]]:
-        path = self._disk_path(key)
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self.path(key)
         # Two attempts before quarantining: a corrupt first read can race a
         # concurrent writer atomically replacing the entry with a good copy,
         # and quarantining *that* would discard valid cache data.
@@ -368,34 +414,9 @@ class SummaryStore:
         self._quarantine(path)
         return None
 
-    def _get_payload(self, key: str) -> Optional[Dict[str, object]]:
-        with self._lock:
-            if key in self._memory:
-                self._memory.move_to_end(key)
-                self.stats.memory_hits += 1
-                return self._memory[key]
-        if self.cache_dir:
-            payload = self._read_disk(key)
-            if payload is not None:
-                with self._lock:
-                    self.stats.disk_hits += 1
-                self._admit(key, payload, write_disk=False)
-                return payload
-        return None
-
-    def _admit(self, key: str, payload: Dict[str, object], write_disk: bool) -> None:
-        with self._lock:
-            self._memory[key] = payload
-            self._memory.move_to_end(key)
-            while len(self._memory) > self.capacity:
-                self._memory.popitem(last=False)
-                self.stats.evictions += 1
-        if write_disk and self.cache_dir:
-            self._write_disk(key, payload)
-
-    def _write_disk(self, key: str, payload: Dict[str, object]) -> None:
+    def put(self, key: str, payload: Dict[str, object]) -> None:
         """Publish one entry atomically; cache-write failures never propagate."""
-        path = self._disk_path(key)
+        path = self.path(key)
         tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -409,6 +430,259 @@ class SummaryStore:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self.path(key))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "cache_dir": self.cache_dir}
+
+
+#: wire name the store daemon announces; clients refuse to pool with others.
+STORE_SERVER_NAME = "repro-summary-store"
+
+
+class SocketStoreBackend(StoreBackend):
+    """Client tier for the fleet's shared store daemon.
+
+    Speaks the newline-JSON store protocol of
+    :class:`repro.fleet.storeserver.SummaryStoreServer` over one persistent
+    TCP connection (a lock serializes requests; replies arrive in order).
+    Every failure mode -- daemon down, connection reset, garbage reply --
+    degrades to a miss and bumps ``stats.remote_errors``; a reconnect is
+    attempted once per operation, so a restarted daemon is picked back up
+    without any intervention.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 10.0,
+        connect_retries: int = 0,
+        connect_delay: float = 0.2,
+    ) -> None:
+        super().__init__()
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"store address must look like 'host:port', got {address!r}"
+            )
+        self.host, self.port = host, int(port)
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._file = None
+        self._sock: Optional[socket_module.socket] = None
+        self._closed = False
+        last_error: Optional[Exception] = None
+        for attempt in range(connect_retries + 1):
+            try:
+                self._connect()
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt == connect_retries:
+                    raise
+                time.sleep(connect_delay)
+        assert self._file is not None, last_error
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _connect(self) -> None:
+        sock = socket_module.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        file = sock.makefile("rwb")
+        # Handshake: refuse to pool with a daemon speaking another format --
+        # a version-skewed store must read as empty, never as corrupt.
+        file.write(_store_line({"op": "ping"}))
+        file.flush()
+        reply = json.loads(file.readline().decode("utf-8"))
+        if (
+            reply.get("server") != STORE_SERVER_NAME
+            or reply.get("format") != STORE_FORMAT
+        ):
+            file.close()
+            sock.close()
+            raise OSError(
+                f"{self.host}:{self.port} is not a {STORE_FORMAT} store daemon: {reply!r}"
+            )
+        self._sock, self._file = sock, file
+
+    def _reset(self) -> None:
+        for closer in (self._file, self._sock):
+            try:
+                if closer is not None:
+                    closer.close()
+            except OSError:
+                pass
+        self._file = self._sock = None
+
+    def _roundtrip(self, message: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """One request/reply; retries once on a fresh connection, never raises."""
+        if self._closed:
+            return None
+        with self._lock:
+            for attempt in (0, 1):
+                try:
+                    if self._file is None:
+                        self._connect()
+                    self._file.write(_store_line(message))
+                    self._file.flush()
+                    line = self._file.readline()
+                    if not line:
+                        raise OSError("store daemon closed the connection")
+                    reply = json.loads(line.decode("utf-8"))
+                    if not isinstance(reply, dict) or not reply.get("ok"):
+                        raise OSError(f"store daemon error reply: {reply!r}")
+                    return reply
+                except (OSError, ValueError):
+                    self._reset()
+                    if attempt == 1:
+                        self.stats.remote_errors += 1
+                        return None
+        return None
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        reply = self._roundtrip({"op": "get", "key": key})
+        if reply is None:
+            return None
+        payload = reply.get("payload")
+        if isinstance(payload, dict) and payload.get("format") == STORE_FORMAT:
+            return payload
+        return None
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        self._roundtrip({"op": "put", "key": key, "payload": payload})
+
+    def contains(self, key: str) -> bool:
+        reply = self._roundtrip({"op": "contains", "key": key})
+        return bool(reply and reply.get("contains"))
+
+    def remote_stats(self) -> Dict[str, object]:
+        """The daemon's own store snapshot (empty when unreachable)."""
+        reply = self._roundtrip({"op": "stats"})
+        if reply is None:
+            return {}
+        return {k: v for k, v in reply.items() if k != "ok"}
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._reset()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "address": self.address}
+
+
+def _store_line(message: Mapping[str, object]) -> bytes:
+    """One store-protocol message -> one UTF-8 JSON line."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def make_backend(
+    cache_dir: Optional[str] = None,
+    store_addr: Optional[str] = None,
+    connect_retries: int = 25,
+) -> Optional[StoreBackend]:
+    """The persistent tier for one configuration (``None`` = memory only).
+
+    ``store_addr`` wins over ``cache_dir``: a fleet shard pointed at the
+    shared daemon must never shadow it with a private directory, or warm
+    hits would stop crossing shards.
+    """
+    if store_addr:
+        return SocketStoreBackend(store_addr, connect_retries=connect_retries)
+    if cache_dir:
+        return DiskStoreBackend(cache_dir)
+    return None
+
+
+class SummaryStore:
+    """Two-tier summary cache: LRU memory plus a pluggable persistent backend.
+
+    The store holds raw JSON payloads, not live objects: entries are serialized
+    on :meth:`put` and deserialized on every :meth:`get`, which both keeps the
+    memory tier compact and guarantees cached summaries cannot be corrupted by
+    later in-place refinement of the sketches handed out.
+
+    The persistent tier is a :class:`StoreBackend`: ``cache_dir`` selects the
+    on-disk JSON tier (:class:`DiskStoreBackend`, today's default),
+    ``store_addr`` the fleet's socket-served shared store
+    (:class:`SocketStoreBackend`), and an explicit ``backend`` plugs anything
+    else in.  A backend hit is promoted into the memory tier, so the remote
+    round-trip (or disk read) is paid once per key per process.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        cache_dir: Optional[str] = None,
+        store_addr: Optional[str] = None,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("summary store capacity must be at least 1")
+        self.capacity = capacity
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = StoreStats()
+        if backend is None:
+            backend = make_backend(cache_dir=cache_dir, store_addr=store_addr)
+        self.backend = backend
+        if backend is not None:
+            # One shared record: backend-internal events (quarantines, remote
+            # errors) land on the same stats the facade snapshots.
+            backend.stats = self.stats
+        #: the disk tier's directory (``None`` for memory-only and socket
+        #: stores); the procpool env codec ships this to workers.
+        self.cache_dir = (
+            backend.cache_dir if isinstance(backend, DiskStoreBackend) else None
+        )
+
+    @property
+    def backend_kind(self) -> str:
+        """``"memory"`` when no persistent tier, else the backend's kind."""
+        return self.backend.kind if self.backend is not None else "memory"
+
+    # -- raw payload tier ------------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        assert isinstance(self.backend, DiskStoreBackend), "no disk tier configured"
+        return self.backend.path(key)
+
+    def _get_payload(self, key: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key]
+        if self.backend is not None:
+            payload = self.backend.get(key)
+            if payload is not None:
+                with self._lock:
+                    if self.backend.kind == "socket":
+                        self.stats.remote_hits += 1
+                    else:
+                        self.stats.disk_hits += 1
+                self._admit(key, payload, write_disk=False)
+                return payload
+        return None
+
+    def _admit(self, key: str, payload: Dict[str, object], write_disk: bool) -> None:
+        with self._lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+        if write_disk and self.backend is not None:
+            self.backend.put(key, payload)
 
     # -- public API ------------------------------------------------------------
 
@@ -461,13 +735,19 @@ class SummaryStore:
         with self._lock:
             if key in self._memory:
                 return True
-        return bool(self.cache_dir) and os.path.exists(self._disk_path(key))
+        return self.backend is not None and self.backend.contains(key)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)
 
     def clear(self) -> None:
-        """Drop the memory tier (the disk tier, if any, is left untouched)."""
+        """Drop the memory tier (the persistent tier, if any, is left untouched)."""
         with self._lock:
             self._memory.clear()
+
+    def close(self) -> None:
+        """Release the persistent tier's resources (socket stores hold a
+        connection); the memory tier keeps serving."""
+        if self.backend is not None:
+            self.backend.close()

@@ -1,0 +1,216 @@
+"""End-to-end fleet tests: byte-identity, failover, shared warmth.
+
+The harness runs the real topology -- a store daemon thread, real shard
+subprocesses via ``python -m repro.server``, and the router on a background
+event loop -- and drives it through the public client, exactly as an operator
+deployment would.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.fleet.launcher import FleetConfig, FleetLauncher
+from repro.fleet.router import FleetRouter
+from repro.gen import GenProfile, generate_corpus
+from repro.server import RetryPolicy, TypeQueryClient, TypeQueryError
+from repro.server.app import ServerConfig, TypeQueryServer
+
+CORPUS = generate_corpus(6, seed=4242, profile=GenProfile.smoke(), name_prefix="fleet")
+
+
+def fingerprint(payload):
+    import hashlib
+
+    scrubbed = {k: v for k, v in payload.items() if k not in ("program_id", "stats")}
+    return hashlib.sha256(
+        json.dumps(scrubbed, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Harnesses
+# ---------------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def running_single_server():
+    """One in-process TypeQueryServer on a background loop (reference pass)."""
+    started = threading.Event()
+    info = {}
+    loop = asyncio.new_event_loop()
+
+    async def runner():
+        server = TypeQueryServer(ServerConfig(port=0))
+        host, port = await server.start()
+        info.update(host=host, port=port, stop=server._stopping)
+        started.set()
+        await server.serve_forever()
+
+    thread = threading.Thread(
+        target=lambda: (asyncio.set_event_loop(loop), loop.run_until_complete(runner())),
+        daemon=True,
+    )
+    thread.start()
+    assert started.wait(60), "single server failed to start"
+    try:
+        yield info["host"], info["port"]
+    finally:
+        loop.call_soon_threadsafe(info["stop"].set)
+        thread.join(timeout=60)
+        loop.close()
+
+
+@contextlib.contextmanager
+def running_fleet(shards=2, **config_kwargs):
+    """Store daemon + shard subprocesses + router; yields (host, port, launcher, router)."""
+    launcher = FleetLauncher(FleetConfig(shards=shards, port=0, **config_kwargs))
+    launcher.start()
+    started = threading.Event()
+    info = {}
+    loop = asyncio.new_event_loop()
+
+    async def runner():
+        router = FleetRouter(launcher.router_config())
+        host, port = await router.start()
+        info.update(host=host, port=port, router=router, stop=router._stopping)
+        started.set()
+        await router.serve_forever()
+
+    thread = threading.Thread(
+        target=lambda: (asyncio.set_event_loop(loop), loop.run_until_complete(runner())),
+        daemon=True,
+    )
+    thread.start()
+    try:
+        assert started.wait(120), "fleet router failed to start"
+        yield info["host"], info["port"], launcher, info["router"]
+    finally:
+        if "stop" in info:
+            loop.call_soon_threadsafe(info["stop"].set)
+        thread.join(timeout=60)
+        loop.close()
+        launcher.close()
+
+
+def fleet_client(host, port):
+    return TypeQueryClient(
+        host, port, timeout=300.0, connect_retries=25,
+        retry=RetryPolicy(attempts=6, base_delay=0.2),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The acceptance battery (one fleet, several properties -- bring-up is the
+# expensive part, so the module shares it)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def reference_fingerprints():
+    with running_single_server() as (host, port):
+        with TypeQueryClient(host, port, timeout=300.0) as client:
+            out = {}
+            for program in CORPUS:
+                result = client.analyze(program.source, kind="c")
+                out[program.name] = fingerprint(client.query(result["program_id"]))
+            return out
+
+
+def test_fleet_is_byte_identical_and_survives_shard_death(reference_fingerprints):
+    kill_at = 2
+    with running_fleet(shards=2) as (host, port, launcher, router):
+        with fleet_client(host, port) as client:
+            # Both shards answer health through the router, mounted on the
+            # shared socket store.
+            health = client.health()
+            assert health["healthy"] and health["shards_healthy"] == 2
+            assert all(
+                row["store_backend"] == "socket"
+                for row in health["shards"].values()
+            )
+
+            ids = {}
+            killed_pid = None
+            for index, program in enumerate(CORPUS):
+                if index == kill_at:
+                    # Kill the shard that *owns* an already-analyzed program,
+                    # so the later re-query must exercise failover re-homing.
+                    owner = int(router._owners[ids[CORPUS[0].name]]["shard"])
+                    killed_pid = launcher.processes[owner].pid
+                    os.kill(killed_pid, signal.SIGKILL)
+                result = client.analyze(program.source, kind="c")
+                ids[program.name] = result["program_id"]
+                payload = client.query(result["program_id"])
+                assert fingerprint(payload) == reference_fingerprints[program.name], (
+                    f"fleet result for {program.name} diverged from single server"
+                )
+            assert killed_pid is not None
+
+            # Re-query everything: programs homed on the dead shard are
+            # re-analyzed on the survivor (lazy replication) -- still
+            # byte-identical, no client-visible error.
+            for program in CORPUS:
+                payload = client.query(ids[program.name])
+                assert fingerprint(payload) == reference_fingerprints[program.name]
+
+            # The router noticed the death and kept exactly one shard.
+            health = client.health()
+            assert health["healthy"] and health["shards_healthy"] == 1
+            stats = client.stats()
+            assert stats["role"] == "router"
+            dead = [s for s in stats["shards"].values() if not s["healthy"]]
+            assert len(dead) == 1 and dead[0]["failures"] >= 1
+
+            # Shared warmth: the surviving shard served summaries it never
+            # solved straight from the socket store.
+            (live_id,) = [
+                shard_id
+                for shard_id, row in health["shards"].items()
+                if row.get("healthy")
+            ]
+            shard_stats = client.request("stats", {"shard": int(live_id)})
+            assert shard_stats["store"]["remote_hits"] > 0
+
+            # The typed failure counter incremented on the router.
+            metrics = client.metrics()["metrics"]
+            failed = sum(
+                row["value"]
+                for name, row in metrics.items()
+                if name.startswith("fleet_shard_failed_total")
+            )
+            assert failed >= 1
+
+
+def test_fleet_verbs_and_session_rehoming():
+    with running_fleet(shards=2) as (host, port, launcher, router):
+        with fleet_client(host, port) as client:
+            ping = client.ping()
+            assert ping["role"] == "router" and ping["shards"] == 2
+
+            # Typed errors pass through untouched.
+            with pytest.raises(TypeQueryError) as err:
+                client.query("no-such-program")
+            assert err.value.code == "unknown_program"
+
+            # A session survives its shard's death: the edit re-homes onto
+            # the other shard under the same client-visible session id.
+            program = CORPUS[0]
+            opened = client.session_open(program.source, kind="c")
+            session_id = opened["session_id"]
+            owner = router._sessions[session_id]["shard"]
+            os.kill(launcher.processes[int(owner)].pid, signal.SIGKILL)
+            time.sleep(0.2)
+            edited = client.session_edit(
+                session_id, program.source + "\n", kind="c"
+            )
+            assert edited["session_id"] == session_id
+            assert edited["edits"] == 1
+            closed = client.session_close(session_id)
+            assert closed["closed"] is True

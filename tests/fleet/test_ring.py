@@ -1,0 +1,95 @@
+"""Unit tests for the consistent-hash ring (repro.fleet.ring)."""
+
+import collections
+
+import pytest
+
+from repro.fleet.ring import HashRing, _point
+
+
+KEYS = [f"program-{i}" for i in range(2000)]
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.node_for("anything")
+    assert list(ring.nodes_for("anything")) == []
+    assert len(ring) == 0
+
+
+def test_single_node_owns_everything():
+    ring = HashRing([0])
+    assert all(ring.node_for(key) == 0 for key in KEYS)
+    assert list(ring.nodes_for("k")) == [0]
+
+
+def test_placement_is_deterministic_across_instances():
+    a = HashRing([0, 1, 2])
+    b = HashRing([2, 0, 1])  # insertion order must not matter
+    assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+
+def test_add_is_idempotent():
+    ring = HashRing([0, 1])
+    before = [ring.node_for(k) for k in KEYS]
+    ring.add(1)
+    assert [ring.node_for(k) for k in KEYS] == before
+    assert len(ring) == 2
+
+
+def test_nodes_for_yields_every_node_exactly_once():
+    ring = HashRing(range(5))
+    for key in KEYS[:100]:
+        order = list(ring.nodes_for(key))
+        assert sorted(order) == list(range(5))
+        assert order[0] == ring.node_for(key)
+
+
+def test_distribution_is_roughly_balanced():
+    ring = HashRing(range(4), replicas=64)
+    counts = collections.Counter(ring.node_for(k) for k in KEYS)
+    assert set(counts) == set(range(4))
+    # With 64 virtual replicas the worst shard should stay within a small
+    # constant factor of fair share; this bound is loose on purpose.
+    assert max(counts.values()) < 3 * len(KEYS) / 4
+
+
+def test_removal_only_remaps_the_dead_nodes_arc():
+    ring = HashRing(range(4))
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.remove(2)
+    moved = 0
+    for key, owner in before.items():
+        after = ring.node_for(key)
+        if owner == 2:
+            assert after != 2  # dead node's keys must move
+        else:
+            # the stability property: surviving arcs never remap
+            assert after == owner
+            moved += after != owner
+    assert moved == 0
+
+
+def test_failover_order_matches_post_removal_placement():
+    """The second preference of a key is exactly where it lands if the first
+    dies -- the invariant the router's requeue logic relies on."""
+    ring = HashRing(range(4))
+    for key in KEYS[:200]:
+        first, second = list(ring.nodes_for(key))[:2]
+        clone = HashRing(range(4))
+        clone.remove(first)
+        assert clone.node_for(key) == second
+
+
+def test_remove_unknown_node_is_a_noop():
+    ring = HashRing([0, 1])
+    ring.remove(7)
+    assert len(ring) == 2
+
+
+def test_point_is_stable():
+    # Pin the hash construction: changing it would silently remap every
+    # deployed fleet's placement.
+    assert _point("shard:0:0") == _point("shard:0:0")
+    assert _point("shard:0:0") != _point("shard:0:1")
