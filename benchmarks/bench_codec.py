@@ -1,0 +1,294 @@
+"""Task-codec micro-benchmark: nested JSON (v1) vs integer tables (v2).
+
+The process backend ships solver inputs and callee summaries to workers as
+JSON text.  The v1 codec spelled every derived type variable out at every
+occurrence and re-parsed each one on the worker; the v2 codec
+(``repro.service.procpool``) interns every string once per task and ships
+flat int arrays.  This benchmark re-encodes the same wave tasks both ways --
+the v1 encoder/decoder is retained below as a reference implementation --
+and reports payload bytes and encode/decode wall time.
+
+The hard gate is on *bytes*: the integer-table payload must not be larger
+than the nested-JSON payload it replaced (time on a loaded CI runner is too
+noisy to gate, so it is reported but not asserted).
+
+Run modes:
+
+* script (what CI's perf-smoke uses)::
+
+      PYTHONPATH=src python benchmarks/bench_codec.py
+
+* pytest::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_codec.py -q
+
+Numbers land in ``benchmarks/results/BENCH_codec.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+DEFAULT_SEED = 20160613
+DEFAULT_FUNCTIONS = int(os.environ.get("REPRO_CODEC_BENCH_FUNCTIONS", "96"))
+
+
+# ---------------------------------------------------------------------------
+# The retained v1 codec (reference implementation, do not "optimize")
+# ---------------------------------------------------------------------------
+
+
+def _encode_callee_v1(result):
+    return {
+        "scheme": result.scheme.to_json(),
+        "formal_ins": [
+            [str(dtv), sketch.to_json()]
+            for dtv, sketch in result.formal_in_sketches.items()
+        ],
+        "formal_outs": [
+            [str(dtv), sketch.to_json()]
+            for dtv, sketch in result.formal_out_sketches.items()
+        ],
+    }
+
+
+def _decode_callee_v1(name, entry, lattice):
+    from repro.core.schemes import TypeScheme
+    from repro.core.sketches import Sketch
+    from repro.core.solver import ProcedureResult
+    from repro.core.variables import parse_dtv
+
+    return ProcedureResult(
+        name=name,
+        scheme=TypeScheme.from_json(entry["scheme"]),
+        formal_in_sketches={
+            parse_dtv(text): Sketch.from_json(data, lattice)
+            for text, data in entry["formal_ins"]
+        },
+        formal_out_sketches={
+            parse_dtv(text): Sketch.from_json(data, lattice)
+            for text, data in entry["formal_outs"]
+        },
+        shapes=None,
+    )
+
+
+def _encode_input_v1(proc):
+    return {
+        "constraints": proc.constraints.to_json(),
+        "formal_ins": [str(dtv) for dtv in proc.formal_ins],
+        "formal_outs": [str(dtv) for dtv in proc.formal_outs],
+        "callsites": [[c.callee, c.base] for c in proc.callsites],
+    }
+
+
+def _decode_input_v1(name, entry):
+    from repro.core.constraints import ConstraintSet
+    from repro.core.solver import Callsite, ProcedureTypingInput
+    from repro.core.variables import parse_dtv
+
+    return ProcedureTypingInput(
+        name=name,
+        constraints=ConstraintSet.from_json(entry["constraints"]),
+        formal_ins=tuple(parse_dtv(text) for text in entry["formal_ins"]),
+        formal_outs=tuple(parse_dtv(text) for text in entry["formal_outs"]),
+        callsites=tuple(Callsite(callee, base) for callee, base in entry["callsites"]),
+    )
+
+
+def _encode_task_v1(chunk, inputs, working):
+    sccs = []
+    callees = {}
+    for scc in chunk:
+        scc_set = set(scc)
+        scc_inputs = {}
+        for name in scc:
+            proc = inputs[name]
+            scc_inputs[name] = _encode_input_v1(proc)
+            for callsite in proc.callsites:
+                callee = callsite.callee
+                if callee in scc_set or callee in callees or callee not in working:
+                    continue
+                callees[callee] = _encode_callee_v1(working[callee])
+        sccs.append({"scc": list(scc), "key": None, "inputs": scc_inputs})
+    message = {"format": "retypd-procpool-v1", "sccs": sccs, "callees": callees}
+    return json.dumps(message, sort_keys=True, separators=(",", ":"))
+
+
+def _decode_task_v1(task_json, lattice):
+    task = json.loads(task_json)
+    callees = {
+        name: _decode_callee_v1(name, entry, lattice)
+        for name, entry in task["callees"].items()
+    }
+    decoded = []
+    for item in task["sccs"]:
+        decoded.append(
+            {
+                name: _decode_input_v1(name, entry)
+                for name, entry in item["inputs"].items()
+            }
+        )
+    return callees, decoded
+
+
+def _decode_task_v2(task_json, lattice):
+    from repro.service import procpool
+
+    task = json.loads(task_json)
+    reader = procpool._TableReader(task["strings"])
+    callees = {
+        name: procpool.decode_callee(name, entry, reader, lattice)
+        for name, entry in task["callees"].items()
+    }
+    decoded = []
+    for item in task["sccs"]:
+        decoded.append(
+            {
+                name: procpool.decode_input(name, entry, reader)
+                for name, entry in item["inputs"].items()
+            }
+        )
+    return callees, decoded
+
+
+# ---------------------------------------------------------------------------
+# The workload: every wave of a solved synthetic program, as worker tasks
+# ---------------------------------------------------------------------------
+
+
+def _wave_tasks(functions, seed):
+    """(chunk, inputs, working) per wave of one generated program's DAG."""
+    from repro.core.lattice import default_lattice
+    from repro.core.solver import SolveStats, Solver, SolverConfig
+    from repro.eval.workloads import make_workload
+    from repro.ir.callgraph import CallGraph
+    from repro.typegen.abstract_interp import generate_program_constraints
+    from repro.typegen.externs import (
+        ensure_lattice_tags,
+        extern_schemes,
+        standard_externs,
+    )
+
+    lattice = ensure_lattice_tags(default_lattice())
+    externs = standard_externs()
+    workload = make_workload("codec_bench", functions, seed)
+    inputs = generate_program_constraints(workload.program, externs)
+    callgraph = CallGraph.from_typing_inputs(inputs)
+    solver = Solver(lattice, extern_schemes(externs), SolverConfig())
+
+    tasks = []
+    working = {}
+    for wave in callgraph.scc_waves():
+        tasks.append((list(wave), inputs, dict(working)))
+        for scc in wave:
+            working.update(solver.solve_scc(scc, inputs, working, stats=SolveStats()))
+    return lattice, tasks
+
+
+def _measure(encode, decode, tasks, lattice, repeats):
+    encode_seconds = 0.0
+    decode_seconds = 0.0
+    payload_bytes = 0
+    for _ in range(repeats):
+        payload_bytes = 0
+        for chunk, inputs, working in tasks:
+            start = time.perf_counter()
+            payload = encode(chunk, inputs, working)
+            encode_seconds += time.perf_counter() - start
+            payload_bytes += len(payload.encode("utf-8"))
+            start = time.perf_counter()
+            decode(payload, lattice)
+            decode_seconds += time.perf_counter() - start
+    return {
+        "encode_seconds": encode_seconds / repeats,
+        "decode_seconds": decode_seconds / repeats,
+        "payload_bytes": payload_bytes,
+    }
+
+
+def run(functions=DEFAULT_FUNCTIONS, seed=DEFAULT_SEED, repeats=3, write=True):
+    from repro.service import procpool
+
+    lattice, tasks = _wave_tasks(functions, seed)
+
+    def encode_v2(chunk, inputs, working):
+        return procpool.encode_task(chunk, inputs, working, {})
+
+    v1 = _measure(_encode_task_v1, _decode_task_v1, tasks, lattice, repeats)
+    v2 = _measure(encode_v2, _decode_task_v2, tasks, lattice, repeats)
+
+    # The two codecs must describe the same tasks: decoded inputs compare
+    # equal object-by-object (the v2 round-trip test covers byte identity).
+    for chunk, inputs, working in tasks[-1:]:
+        _, d1 = _decode_task_v1(_encode_task_v1(chunk, inputs, working), lattice)
+        _, d2 = _decode_task_v2(encode_v2(chunk, inputs, working), lattice)
+        for scc1, scc2 in zip(d1, d2):
+            assert scc1.keys() == scc2.keys()
+            for name in scc1:
+                assert scc1[name].constraints == scc2[name].constraints
+                assert scc1[name].formal_ins == scc2[name].formal_ins
+
+    bytes_ratio = v2["payload_bytes"] / v1["payload_bytes"]
+    report = {
+        "benchmark": "task_codec",
+        "functions": functions,
+        "seed": seed,
+        "waves": len(tasks),
+        "repeats": repeats,
+        "v1_nested_json": v1,
+        "v2_integer_tables": v2,
+        "bytes_ratio_v2_over_v1": bytes_ratio,
+        "encode_speedup": v1["encode_seconds"] / v2["encode_seconds"]
+        if v2["encode_seconds"]
+        else None,
+        "decode_speedup": v1["decode_seconds"] / v2["decode_seconds"]
+        if v2["decode_seconds"]
+        else None,
+    }
+    print(
+        f"task codec over {len(tasks)} waves ({functions} functions):\n"
+        f"  v1 nested JSON    : {v1['payload_bytes']:>9} bytes  "
+        f"encode {v1['encode_seconds'] * 1e3:7.2f} ms  decode {v1['decode_seconds'] * 1e3:7.2f} ms\n"
+        f"  v2 integer tables : {v2['payload_bytes']:>9} bytes  "
+        f"encode {v2['encode_seconds'] * 1e3:7.2f} ms  decode {v2['decode_seconds'] * 1e3:7.2f} ms\n"
+        f"  bytes ratio v2/v1 : {bytes_ratio:.3f}"
+    )
+    if write:
+        path = os.path.join(_HERE, "results", "BENCH_codec.json")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"machine-readable: {path}")
+
+    assert bytes_ratio <= 1.0, (
+        f"integer-table payloads grew past nested JSON: {bytes_ratio:.3f}x"
+    )
+    return report
+
+
+def test_integer_codec_is_no_larger_than_nested_json():
+    """Pytest entry: quick corpus, same byte gate."""
+    run(functions=32, repeats=1, write=False)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--functions", type=int, default=DEFAULT_FUNCTIONS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    run(args.functions, args.seed, args.repeats)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

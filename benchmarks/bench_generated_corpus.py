@@ -34,6 +34,9 @@ if _SRC not in sys.path:
 DEFAULT_COUNT = int(os.environ.get("REPRO_GEN_BENCH_COUNT", "40"))
 DEFAULT_SEED = 20160613
 BACKENDS = ("serial", "threads", "processes")
+#: pytest smoke-corpus size; large enough that the process backend's pool
+#: spawn + program fan-out amortizes instead of dominating.
+SMOKE_COUNT = int(os.environ.get("REPRO_GEN_SMOKE_COUNT", "24"))
 
 
 def _corpus(count, seed, profile_name):
@@ -49,11 +52,13 @@ def _corpus(count, seed, profile_name):
     return programs, compiled, generate_seconds, compile_seconds
 
 
-def _run_backend(compiled, executor):
+def _run_backend(compiled, executor, workers=None):
     from repro.gen import result_fingerprint
     from repro.service import AnalysisService, ServiceConfig, analyze_corpus
 
-    service = AnalysisService(ServiceConfig(use_cache=True, executor=executor))
+    service = AnalysisService(
+        ServiceConfig(use_cache=True, executor=executor, max_workers=workers)
+    )
     try:
         start = time.perf_counter()
         report = analyze_corpus(compiled, service=service)
@@ -66,7 +71,7 @@ def _run_backend(compiled, executor):
     return elapsed, report, fingerprints
 
 
-def run(count, seed, profile_name, write=True):
+def run(count, seed, profile_name, write=True, workers=None, gate=None):
     programs, compiled, generate_seconds, compile_seconds = _corpus(
         count, seed, profile_name
     )
@@ -85,7 +90,7 @@ def run(count, seed, profile_name, write=True):
     timings = {}
     backend_rows = {}
     for backend in BACKENDS:
-        elapsed, report, fingerprints = _run_backend(compiled, backend)
+        elapsed, report, fingerprints = _run_backend(compiled, backend, workers)
         timings[backend] = elapsed
         if reference is None:
             reference = fingerprints
@@ -100,8 +105,14 @@ def run(count, seed, profile_name, write=True):
             f"{report.hit_rate:>8.0%}"
         )
 
+    speedups = {
+        backend: timings["serial"] / timings[backend] if timings[backend] else None
+        for backend in BACKENDS
+    }
     lines += [
         "",
+        f"processes vs serial: {speedups['processes']:.2f}x "
+        f"({os.cpu_count()} cpus, workers={workers or 'auto'})",
         f"all {len(BACKENDS)} backends byte-identical over {count} programs",
     ]
     report_text = "\n".join(lines)
@@ -110,26 +121,33 @@ def run(count, seed, profile_name, write=True):
         from conftest import write_result
 
         write_result("generated_corpus.txt", report_text)
-        bench_path = os.path.join(_HERE, "results", "BENCH_corpus.json")
-        with open(bench_path, "w") as handle:
-            json.dump(
-                {
-                    "benchmark": "generated_corpus",
-                    "programs": count,
-                    "functions": total_functions,
-                    "seed": seed,
-                    "profile": profile_name,
-                    "generate_seconds": generate_seconds,
-                    "compile_seconds": compile_seconds,
-                    "backends": backend_rows,
-                    "byte_identical": True,
-                },
-                handle,
-                indent=2,
-                sort_keys=True,
-            )
-            handle.write("\n")
-        print(f"machine-readable: {bench_path}")
+        payload = {
+            "benchmark": "generated_corpus",
+            "programs": count,
+            "functions": total_functions,
+            "seed": seed,
+            "profile": profile_name,
+            "cpus": os.cpu_count(),
+            "workers": workers,
+            "generate_seconds": generate_seconds,
+            "compile_seconds": compile_seconds,
+            "backends": backend_rows,
+            "speedup_vs_serial": speedups,
+            "byte_identical": True,
+        }
+        for name in ("BENCH_corpus.json", "BENCH_corpus_backends.json"):
+            bench_path = os.path.join(_HERE, "results", name)
+            with open(bench_path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"machine-readable: {bench_path}")
+    if gate is not None:
+        ratio = speedups["processes"]
+        assert ratio >= gate, (
+            f"processes backend only {ratio:.2f}x serial on the generated smoke "
+            f"corpus (gate {gate}x, {os.cpu_count()} cpus)"
+        )
+        print(f"gate passed: processes {ratio:.2f}x serial (>= {gate}x)")
     return timings
 
 
@@ -158,7 +176,7 @@ def _backend_row(backend, elapsed, report, count):
 
 def test_generated_corpus_backends_identical():
     """Small pytest entry: every backend identical on a quick corpus."""
-    run(12, DEFAULT_SEED, "smoke", write=False)
+    run(SMOKE_COUNT, DEFAULT_SEED, "smoke", write=False)
 
 
 def main(argv=None):
@@ -168,8 +186,17 @@ def main(argv=None):
     parser.add_argument(
         "--profile", choices=["smoke", "default", "stress"], default="smoke"
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process-backend worker count"
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="fail unless processes >= GATE x serial (needs >= 2 real CPUs)",
+    )
     args = parser.parse_args(argv)
-    run(args.count, args.seed, args.profile)
+    run(args.count, args.seed, args.profile, workers=args.workers, gate=args.gate)
     return 0
 
 

@@ -19,12 +19,24 @@ The saturation algorithm of Appendix D.3 (:mod:`repro.core.saturation`) adds
 shortcut edges so every derivable judgement is witnessed by a path whose
 forgets all precede its recalls.
 
-The representation is *indexed and mutation-aware*: adjacency is maintained
-per edge kind (null / forget / recall) and recall successors per label, so the
-worklist saturation and the memoized path traversal get their hot queries --
-``null_out_edges``, ``recall_targets``, ``has_edge`` -- as dict hits instead
-of list scans.  ``add_edge`` keeps every index coherent, which is what lets
-saturation propagate along an edge the moment it is created.
+The representation is an **integer kernel** (see DESIGN.md): derived type
+variables and labels are interned into dense-ID pools
+(:mod:`repro.core.intern`), a node is ``did * 2 + variance_bit``, and every
+index the hot algorithms touch -- per-node out-records, null adjacency,
+recall-successors-by-label, the forget list, the exact-duplicate edge set --
+is a flat list/dict over those ints.  Saturation and the memoized path
+traversal run entirely on this layer (``_out_recs`` / ``_null_out`` /
+``_recall`` / ``add_saturation_id``); the :class:`Node`/:class:`Edge` object
+API is a decode view kept for tests, debugging and the naive reference
+oracles, materialized lazily and cached per node id.  ``add_edge`` keeps
+every index coherent, which is what lets saturation propagate along an edge
+the moment it is created.
+
+ID assignment is insertion-ordered, never hash-ordered: the constructor
+interns variables in sorted-by-``str`` order, so the whole int layer -- and
+therefore every downstream iteration order -- is a pure function of the
+constraint set, reproducible across processes regardless of
+``PYTHONHASHSEED``.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .constraints import ConstraintSet
+from .intern import InternPool
 from .labels import Label, Variance
 from .variables import DerivedTypeVariable
 
@@ -66,6 +79,22 @@ class EdgeKind(enum.Enum):
     SATURATION = "saturation"  # shortcut added by Algorithm D.2
 
 
+#: integer edge kinds used by the int layer; null kinds sort below K_FORGET so
+#: the hot loops test ``kind < K_FORGET`` instead of comparing enum members.
+K_ORIGINAL = 0
+K_SATURATION = 1
+K_FORGET = 2
+K_RECALL = 3
+
+_KIND_OBJS = (EdgeKind.ORIGINAL, EdgeKind.SATURATION, EdgeKind.FORGET, EdgeKind.RECALL)
+_KIND_IDS = {
+    EdgeKind.ORIGINAL: K_ORIGINAL,
+    EdgeKind.SATURATION: K_SATURATION,
+    EdgeKind.FORGET: K_FORGET,
+    EdgeKind.RECALL: K_RECALL,
+}
+
+
 @dataclass(frozen=True, order=True)
 class Edge:
     source: Node
@@ -93,125 +122,263 @@ class ConstraintGraph:
         extra_dtvs: Iterable[DerivedTypeVariable] = (),
     ) -> None:
         self.constraints = constraints
-        self.nodes: Set[Node] = set()
-        self._out: Dict[Node, List[Edge]] = {}
-        self._in: Dict[Node, List[Edge]] = {}
-        # insertion-ordered edge "set": deterministic iteration without the
-        # former sort-by-str on every edges() call.
-        self._edge_set: Dict[Edge, None] = {}
-        # per-kind adjacency indexes, maintained by add_edge:
-        self._out_null: Dict[Node, List[Edge]] = {}
-        #: recall successors by label: node -> {label -> [target node, ...]}
-        self._recall_by_label: Dict[Node, Dict[Label, List[Node]]] = {}
-        #: all forget edges in insertion order (saturation seeds from these).
-        self._forget_edges: List[Edge] = []
-        #: source -> target -> edges between the pair (O(1) has_edge).
-        self._pair: Dict[Node, Dict[Node, List[Edge]]] = {}
+        #: dense-ID pools: ``did`` per variable, ``lid`` per label.
+        self._dtvs = InternPool()  # type: InternPool[DerivedTypeVariable]
+        self._labels = InternPool()  # type: InternPool[Label]
+        # Per-nid flat indexes (two slots per dtv, grown by _intern_dtv):
+        #: does the node participate in the graph (constructor or edge endpoint)?
+        self._present: List[bool] = []
+        #: out-records ``(kind, lidp, target_nid)`` in insertion order.
+        self._out_recs: List[List[Tuple[int, int, int]]] = []
+        #: in-records ``(kind, lidp, source_nid)`` in insertion order.
+        self._in_recs: List[List[Tuple[int, int, int]]] = []
+        #: targets of null (original + saturation) out-edges.
+        self._null_out: List[List[int]] = []
+        #: recall successors by label: ``lid -> [target_nid, ...]`` (or None).
+        self._recall: List[Optional[Dict[int, List[int]]]] = []
+        #: lazily decoded Node object per nid.
+        self._node_objs: List[Optional[Node]] = []
+        #: exact-duplicate guard + deterministic global order, as int records
+        #: ``(src_nid, tgt_nid, kind, lidp)``.
+        self._edge_seen: Set[Tuple[int, int, int, int]] = set()
+        self._edge_list: List[Tuple[int, int, int, int]] = []
+        #: forget records ``(src_nid, lid, tgt_nid)`` (saturation seeds).
+        self._forget_recs: List[Tuple[int, int, int]] = []
+        self._num_present = 0
+        self._nodes_cache: Optional[Set[Node]] = None
+        #: decoded out-edge lists per nid (views for the object API).
+        self._out_edge_cache: Dict[int, List[Edge]] = {}
 
         dtvs = set(constraints.derived_type_variables())
         for dtv in extra_dtvs:
             dtvs.add(dtv)
             dtvs.update(dtv.prefixes())
 
-        # Sorted, not set order: node insertion order seeds every downstream
-        # order (adjacency lists, saturation worklist, simplification, bound
+        # Sorted, not set order: ID assignment seeds every downstream order
+        # (adjacency lists, saturation worklist, simplification, bound
         # application), and set iteration varies with the per-process string
         # hash seed.  The solver's results must be a pure function of the
         # constraints so that a worker process reproduces the parent's answer
         # byte-for-byte.
-        for dtv in sorted(dtvs, key=str):
-            for variance in (Variance.COVARIANT, Variance.CONTRAVARIANT):
-                self._ensure_node(Node(dtv, variance))
+        ordered = sorted(dtvs, key=str)
+        intern_dtv = self._intern_dtv
+        for dtv in ordered:
+            did = intern_dtv(dtv)
+            self._materialize(did * 2)
+            self._materialize(did * 2 + 1)
 
+        ids = self._dtvs.ids
+        add = self._add_edge_ids
         for constraint in constraints:
-            left, right = constraint.left, constraint.right
-            self.add_edge(
-                Edge(
-                    Node(left, Variance.COVARIANT),
-                    Node(right, Variance.COVARIANT),
-                    EdgeKind.ORIGINAL,
-                )
-            )
-            self.add_edge(
-                Edge(
-                    Node(right, Variance.CONTRAVARIANT),
-                    Node(left, Variance.CONTRAVARIANT),
-                    EdgeKind.ORIGINAL,
-                )
-            )
+            left = ids[constraint.left]
+            right = ids[constraint.right]
+            add(left * 2, right * 2, K_ORIGINAL, 0)
+            add(right * 2 + 1, left * 2 + 1, K_ORIGINAL, 0)
 
-        for dtv in dtvs:
+        intern_label = self._labels.intern
+        for dtv in ordered:
             label = dtv.last_label
-            prefix = dtv.prefix
-            if label is None or prefix is None:
+            if label is None:
                 continue
-            for variance in (Variance.COVARIANT, Variance.CONTRAVARIANT):
-                inner = Node(dtv, variance)
-                outer = Node(prefix, variance * label.variance)
-                self.add_edge(Edge(inner, outer, EdgeKind.FORGET, label))
-                self.add_edge(Edge(outer, inner, EdgeKind.RECALL, label))
+            did = ids[dtv]
+            pid = ids[dtv.prefix]
+            lidp = intern_label(label) + 1
+            flip = 0 if label.variance is Variance.COVARIANT else 1
+            for bit in (0, 1):
+                inner = did * 2 + bit
+                outer = pid * 2 + (bit ^ flip)
+                add(inner, outer, K_FORGET, lidp)
+                add(outer, inner, K_RECALL, lidp)
 
-    # -- mutation ------------------------------------------------------------------
+    # -- int-layer mutation ---------------------------------------------------------
 
-    def _ensure_node(self, node: Node) -> None:
-        if node not in self.nodes:
-            self.nodes.add(node)
-            self._out[node] = []
-            self._in[node] = []
-            self._out_null[node] = []
+    def _intern_dtv(self, dtv: DerivedTypeVariable) -> int:
+        did = self._dtvs.ids.get(dtv)
+        if did is None:
+            did = self._dtvs.intern(dtv)
+            for _ in range(2):
+                self._present.append(False)
+                self._out_recs.append([])
+                self._in_recs.append([])
+                self._null_out.append([])
+                self._recall.append(None)
+                self._node_objs.append(None)
+        return did
+
+    def _materialize(self, nid: int) -> None:
+        if not self._present[nid]:
+            self._present[nid] = True
+            self._num_present += 1
+            self._nodes_cache = None
+
+    def _add_edge_ids(self, src: int, tgt: int, kind: int, lidp: int) -> bool:
+        """Add an int edge record, updating every index; True if it was new."""
+        record = (src, tgt, kind, lidp)
+        if record in self._edge_seen:
+            return False
+        self._edge_seen.add(record)
+        self._materialize(src)
+        self._materialize(tgt)
+        self._edge_list.append(record)
+        self._out_recs[src].append((kind, lidp, tgt))
+        self._in_recs[tgt].append((kind, lidp, src))
+        self._out_edge_cache.pop(src, None)
+        if kind < K_FORGET:
+            self._null_out[src].append(tgt)
+        elif kind == K_FORGET:
+            self._forget_recs.append((src, lidp - 1, tgt))
+        else:  # K_RECALL
+            by_label = self._recall[src]
+            if by_label is None:
+                by_label = {}
+                self._recall[src] = by_label
+            by_label.setdefault(lidp - 1, []).append(tgt)
+        return True
+
+    def add_saturation_id(self, src: int, tgt: int) -> bool:
+        """Hot-path shortcut-edge insertion (Algorithm D.2 discharges)."""
+        return self._add_edge_ids(src, tgt, K_SATURATION, 0)
+
+    # -- int-layer queries ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes without decoding them (what the stats record)."""
+        return self._num_present
+
+    def out_records(self, nid: int) -> List[Tuple[int, int, int]]:
+        """Int out-records ``(kind, lidp, target_nid)`` of one node (live)."""
+        return self._out_recs[nid]
+
+    def null_out_ids(self, nid: int) -> List[int]:
+        """Target nids of null out-edges (live index; duplicates possible
+        when an original and a saturation edge connect the same pair)."""
+        return self._null_out[nid]
+
+    def recall_ids(self, nid: int, lid: int) -> List[int]:
+        """Target nids of ``nid --recall lid-->`` edges."""
+        by_label = self._recall[nid]
+        if by_label is None:
+            return _EMPTY_IDS
+        return by_label.get(lid, _EMPTY_IDS)
+
+    def forget_records(self) -> List[Tuple[int, int, int]]:
+        """Every forget edge as ``(src_nid, lid, tgt_nid)`` in insertion order."""
+        return self._forget_recs
+
+    def dtv_id(self, dtv: DerivedTypeVariable) -> Optional[int]:
+        return self._dtvs.ids.get(dtv)
+
+    def label_id(self, label: Label) -> Optional[int]:
+        return self._labels.ids.get(label)
+
+    # -- object-view decode ---------------------------------------------------------
+
+    def _node_obj(self, nid: int) -> Node:
+        node = self._node_objs[nid]
+        if node is None:
+            variance = Variance.CONTRAVARIANT if nid & 1 else Variance.COVARIANT
+            node = Node(self._dtvs.items[nid >> 1], variance)
+            self._node_objs[nid] = node
+        return node
+
+    def _node_nid(self, node: Node, create: bool = False) -> Optional[int]:
+        """The nid of an object-API node; interns/materializes when ``create``."""
+        if create:
+            did = self._intern_dtv(node.dtv)
+            nid = did * 2 + (1 if node.variance is Variance.CONTRAVARIANT else 0)
+            self._materialize(nid)
+            return nid
+        did = self._dtvs.ids.get(node.dtv)
+        if did is None:
+            return None
+        nid = did * 2 + (1 if node.variance is Variance.CONTRAVARIANT else 0)
+        return nid if self._present[nid] else None
+
+    def _decode_edge(self, record: Tuple[int, int, int, int]) -> Edge:
+        src, tgt, kind, lidp = record
+        label = None if lidp == 0 else self._labels.items[lidp - 1]
+        return Edge(self._node_obj(src), self._node_obj(tgt), _KIND_OBJS[kind], label)
+
+    # -- object-view mutation -------------------------------------------------------
 
     def add_edge(self, edge: Edge) -> bool:
         """Add an edge, updating every index; returns True if it was new."""
-        if edge in self._edge_set:
-            return False
-        self._ensure_node(edge.source)
-        self._ensure_node(edge.target)
-        self._edge_set[edge] = None
-        self._out[edge.source].append(edge)
-        self._in[edge.target].append(edge)
-        kind = edge.kind
-        if kind is EdgeKind.ORIGINAL or kind is EdgeKind.SATURATION:
-            self._out_null[edge.source].append(edge)
-        elif kind is EdgeKind.FORGET:
-            self._forget_edges.append(edge)
-        else:  # RECALL
-            by_label = self._recall_by_label.setdefault(edge.source, {})
-            by_label.setdefault(edge.label, []).append(edge.target)
-        self._pair.setdefault(edge.source, {}).setdefault(edge.target, []).append(edge)
-        return True
+        src = self._node_nid(edge.source, create=True)
+        tgt = self._node_nid(edge.target, create=True)
+        lidp = 0 if edge.label is None else self._labels.intern(edge.label) + 1
+        return self._add_edge_ids(src, tgt, _KIND_IDS[edge.kind], lidp)
 
-    # -- queries ----------------------------------------------------------------------
+    # -- object-view queries --------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[Node]:
+        """All nodes, decoded (cached until a new node appears)."""
+        cache = self._nodes_cache
+        if cache is None:
+            node_obj = self._node_obj
+            cache = {
+                node_obj(nid)
+                for nid, present in enumerate(self._present)
+                if present
+            }
+            self._nodes_cache = cache
+        return cache
 
     def out_edges(self, node: Node) -> List[Edge]:
-        """All out-edges of ``node``.
+        """All out-edges of ``node``, decoded from the int records.
 
-        The returned list is the live index -- do not mutate it; snapshot it
-        (``list(...)``) before iterating if you will add edges meanwhile.
+        The returned list is a cached decode view -- do not mutate it; it is
+        rebuilt when an edge is added at this node.
         """
-        return self._out.get(node, _EMPTY_EDGES)
+        nid = self._node_nid(node)
+        if nid is None:
+            return _EMPTY_EDGES
+        cached = self._out_edge_cache.get(nid)
+        if cached is None:
+            cached = [
+                self._decode_edge((nid, tgt, kind, lidp))
+                for kind, lidp, tgt in self._out_recs[nid]
+            ]
+            self._out_edge_cache[nid] = cached
+        return cached
 
     def in_edges(self, node: Node) -> List[Edge]:
-        """All in-edges of ``node`` (live index; treat as read-only)."""
-        return self._in.get(node, _EMPTY_EDGES)
+        """All in-edges of ``node``, decoded from the int records."""
+        nid = self._node_nid(node)
+        if nid is None:
+            return _EMPTY_EDGES
+        return [
+            self._decode_edge((src, nid, kind, lidp))
+            for kind, lidp, src in self._in_recs[nid]
+        ]
 
     def null_out_edges(self, node: Node) -> List[Edge]:
         """Out-edges that leave the pending stack alone (original + saturation)."""
-        return self._out_null.get(node, _EMPTY_EDGES)
+        return [edge for edge in self.out_edges(node) if edge.is_null]
 
     def forget_edges(self) -> List[Edge]:
-        """Every forget edge in the graph (live index; treat as read-only)."""
-        return self._forget_edges
+        """Every forget edge in the graph, in insertion order."""
+        return [
+            self._decode_edge((src, tgt, K_FORGET, lid + 1))
+            for src, lid, tgt in self._forget_recs
+        ]
 
     def recall_targets(self, node: Node, label: Label) -> List[Node]:
         """Targets of ``node --recall label-->`` edges (O(1) dict hits)."""
-        by_label = self._recall_by_label.get(node)
-        if by_label is None:
+        nid = self._node_nid(node)
+        if nid is None:
             return _EMPTY_NODES
-        return by_label.get(label, _EMPTY_NODES)
+        lid = -1 if label is None else self._labels.ids.get(label)
+        if lid is None:
+            return _EMPTY_NODES
+        node_obj = self._node_obj
+        return [node_obj(tgt) for tgt in self.recall_ids(nid, lid)]
 
     def edges(self) -> Iterator[Edge]:
         """All edges in deterministic (insertion) order."""
-        return iter(self._edge_set)
+        decode = self._decode_edge
+        return (decode(record) for record in self._edge_list)
 
     def has_edge(
         self,
@@ -220,31 +387,45 @@ class ConstraintGraph:
         kind: Optional[EdgeKind] = None,
         label: Optional[Label] = None,
     ) -> bool:
-        between = self._pair.get(source, _EMPTY_DICT).get(target)
-        if not between:
+        src = self._node_nid(source)
+        tgt = self._node_nid(target)
+        if src is None or tgt is None:
             return False
-        if kind is None and label is None:
-            return True
-        for edge in between:
-            if kind is not None and edge.kind != kind:
+        want_kind = None if kind is None else _KIND_IDS[kind]
+        if label is None:
+            want_lidp = None
+        else:
+            lid = self._labels.ids.get(label)
+            if lid is None:
+                return False
+            want_lidp = lid + 1
+        for rec_kind, rec_lidp, rec_tgt in self._out_recs[src]:
+            if rec_tgt != tgt:
                 continue
-            if label is not None and edge.label != label:
+            if want_kind is not None and rec_kind != want_kind:
+                continue
+            if want_lidp is not None and rec_lidp != want_lidp:
                 continue
             return True
         return False
 
     def __len__(self) -> int:
-        return len(self._edge_set)
+        return len(self._edge_list)
 
     def nodes_for_base(self, base: str) -> List[Node]:
-        return [node for node in self.nodes if node.dtv.base == base]
+        node_obj = self._node_obj
+        return [
+            node_obj(nid)
+            for nid, present in enumerate(self._present)
+            if present and self._dtvs.items[nid >> 1].base == base
+        ]
 
     def to_dot(self, name: str = "constraints") -> str:
         lines = [f"digraph {name} {{", "  rankdir=LR;"]
         index = {node: i for i, node in enumerate(sorted(self.nodes, key=str))}
         for node, i in index.items():
             lines.append(f'  n{i} [label="{node}"];')
-        for edge in sorted(self._edge_set, key=str):
+        for edge in sorted(self.edges(), key=str):
             style = "dashed" if edge.kind is EdgeKind.SATURATION else "solid"
             label = edge.kind.value if edge.label is None else f"{edge.kind.value} {edge.label}"
             lines.append(
@@ -257,4 +438,4 @@ class ConstraintGraph:
 
 _EMPTY_EDGES: List[Edge] = []
 _EMPTY_NODES: List[Node] = []
-_EMPTY_DICT: Dict = {}
+_EMPTY_IDS: List[int] = []

@@ -1,0 +1,91 @@
+"""Dense-ID intern pools: the backbone of the integer solver kernel.
+
+The hot core (constraint graph, saturation, path simplification) runs over
+compact integer IDs instead of interned objects; this module supplies the
+pools that assign those IDs and the conventions every consumer packs them
+with.  Three ID spaces exist per solve:
+
+* **dtv ids** (``did``): one per :class:`~repro.core.variables.
+  DerivedTypeVariable` mentioned in a constraint graph, assigned in
+  **insertion order** -- the graph constructor interns its variables in
+  sorted-by-``str`` order, so IDs are a pure function of the constraint set
+  and never depend on the per-process string hash seed;
+* **node ids** (``nid``): ``did * 2 + variance_bit`` with ``0`` for covariant
+  and ``1`` for contravariant; a node's variance twin is ``nid ^ 1``;
+* **label ids** (``lid``): one per distinct field label.  Because ``0`` is a
+  useful sentinel for "no label", edge records and packed stacks carry
+  ``lidp = lid + 1``.
+
+Pending-label stacks (the ``beta`` of the path bookkeeping) pack into a
+single int base ``len(labels) + 1``: the top of the stack lives in the least
+significant digit, so ``push`` is ``beta * base + lidp``, ``pop`` is
+``divmod(beta, base)``, and decoding by repeated ``divmod`` yields the labels
+top-first -- exactly the ``reversed(beta)`` order the right-hand side of a
+read-off judgement needs.  Alpha suffixes pack the same way with the *first*
+appended label least significant, making prepend ``lidp + suffix * base``.
+
+The pools themselves are deliberately tiny: an ordered list plus a reverse
+dict, with the internals (`items`, `ids`) exposed so hot loops can bind the
+dict's ``get`` / the list's indexing once instead of paying a method call per
+event.  :class:`StringTable` is the same structure specialized for the
+process-pool codec's per-task string-intern tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class InternPool(Generic[T]):
+    """An insertion-ordered pool mapping hashable items to dense ints."""
+
+    __slots__ = ("items", "ids")
+
+    def __init__(self) -> None:
+        #: id -> item, in insertion order (the decode direction).
+        self.items: List[T] = []
+        #: item -> id (the encode direction).
+        self.ids: Dict[T, int] = {}
+
+    def intern(self, item: T) -> int:
+        """Return the item's id, assigning the next dense id if it is new."""
+        ident = self.ids.get(item)
+        if ident is None:
+            ident = len(self.items)
+            self.ids[item] = ident
+            self.items.append(item)
+        return ident
+
+    def get(self, item: T) -> Optional[int]:
+        """The item's id, or ``None`` if it was never interned."""
+        return self.ids.get(item)
+
+    def __getitem__(self, ident: int) -> T:
+        return self.items[ident]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self.ids
+
+
+class StringTable(InternPool[str]):
+    """A string-intern table for compact codecs (one per procpool task).
+
+    Encoders call :meth:`intern` for every string occurrence and ship
+    ``items`` once; decoders index into the shipped list, parsing each
+    distinct string at most once no matter how many flat-array slots
+    reference it.
+    """
+
+    __slots__ = ()
+
+    def to_list(self) -> List[str]:
+        """The table payload to ship (the id -> string list itself)."""
+        return self.items

@@ -1,4 +1,4 @@
-"""The saturation algorithm (Algorithm D.2) as a worklist fixpoint.
+"""The saturation algorithm (Algorithm D.2) as a worklist fixpoint over ints.
 
 Saturation adds shortcut "null" edges to the constraint graph so that every
 derivable subtype judgement is witnessed by a *reduced* path: one whose forget
@@ -21,18 +21,23 @@ Rules (cf. Algorithm D.2):
 Unlike the original Gauss-Seidel formulation (which re-scanned every node and
 edge until a whole round ran without change -- retained verbatim as the test
 oracle in ``tests/core/naive_reference.py``), the fixpoint here is driven by a
-worklist of *newly derived facts*.  Work is proportional to facts derived:
+worklist of *newly derived facts*, and the whole loop runs on the graph's
+integer kernel: a node is its ``nid``, a fact packs as
+``origin_nid * (num_labels + 1) + lid + 1`` and a worklist item as
+``fact * num_nodes + nid`` -- set membership, the deque and the S-POINTER
+twin lookup (``nid ^ 1``) are all small-int operations with no object
+hashing.  Work is proportional to facts derived:
 
-* the worklist holds ``(node, (label, origin))`` pairs, each fact enqueued at
-  each node exactly once (set-membership guarded);
-* popping a fact propagates it along the node's current null out-edges,
-  discharges it against the node's recall edges (an O(1)
-  :meth:`~repro.core.graph.ConstraintGraph.recall_targets` index hit), and
-  applies the lazy S-POINTER swap if the node is contravariant;
-* when a discharge creates a *new* shortcut edge, every fact already reaching
-  its origin is propagated across the just-dirtied edge immediately; facts
-  arriving at the origin later flow across it through the (mutation-aware)
-  null-adjacency index.
+* each fact is enqueued at each node exactly once (set-membership guarded);
+* popping a fact propagates it along the node's current null out-ids,
+  discharges it against the node's recall index (an O(1)
+  :meth:`~repro.core.graph.ConstraintGraph.recall_ids` dict hit), and
+  applies the lazy S-POINTER swap if the node is contravariant (odd nid);
+* when a discharge creates a *new* shortcut edge
+  (:meth:`~repro.core.graph.ConstraintGraph.add_saturation_id`), every fact
+  already reaching its origin is propagated across the just-dirtied edge
+  immediately; facts arriving at the origin later flow across it through the
+  (mutation-aware) null-adjacency index.
 
 Invariant: whenever the worklist is empty, ``R`` is closed under all four
 rules -- facts only enter ``R`` through ``_push`` which enqueues them, and
@@ -43,13 +48,10 @@ created later are covered by the dirtied-edge replay above).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Set, Tuple
+from typing import List, Optional, Set
 
-from .graph import ConstraintGraph, Edge, EdgeKind, Node
-from .labels import LOAD, STORE, Label, Variance
-
-#: a reaching-forget fact: (pending label, node the pending path started at).
-Fact = Tuple[Label, Node]
+from .graph import ConstraintGraph
+from .labels import LOAD, STORE
 
 
 def saturate(graph: ConstraintGraph, max_iterations: int = 10_000_000) -> int:
@@ -59,21 +61,38 @@ def saturate(graph: ConstraintGraph, max_iterations: int = 10_000_000) -> int:
     fixpoint always terminates because facts are drawn from the finite set
     ``labels x nodes`` and each is enqueued at each node at most once.
     """
-    reaching: Dict[Node, Set[Fact]] = {}
-    pending: Deque[Tuple[Node, Fact]] = deque()
+    forget_recs = graph.forget_records()
+    if not forget_recs:
+        return 0
 
-    def _push(node: Node, fact: Fact) -> None:
-        facts = reaching.get(node)
+    # Pack bases.  Labels are fixed for the whole run: saturation only adds
+    # unlabeled shortcut edges, so the label pool cannot grow under us.
+    num_nodes = 2 * len(graph._dtvs)
+    lp_base = len(graph._labels) + 1  # lidp digits; lidp = lid + 1
+    load_lid = graph._labels.ids.get(LOAD, -2)
+    store_lid = graph._labels.ids.get(STORE, -2)
+
+    #: per-nid sets of packed facts ``origin_nid * lp_base + lid + 1``.
+    reaching: List[Optional[Set[int]]] = [None] * num_nodes
+    pending = deque()
+    pending_append = pending.append
+
+    def _push(nid: int, fact: int) -> None:
+        facts = reaching[nid]
         if facts is None:
             facts = set()
-            reaching[node] = facts
+            reaching[nid] = facts
         if fact not in facts:
             facts.add(fact)
-            pending.append((node, fact))
+            pending_append(fact * num_nodes + nid)
 
     # Seed from forget edges.
-    for edge in graph.forget_edges():
-        _push(edge.target, (edge.label, edge.source))
+    for src, lid, tgt in forget_recs:
+        _push(tgt, src * lp_base + lid + 1)
+
+    null_out = graph._null_out
+    recall = graph._recall
+    add_saturation = graph.add_saturation_id
 
     added = 0
     iterations = 0
@@ -81,34 +100,40 @@ def saturate(graph: ConstraintGraph, max_iterations: int = 10_000_000) -> int:
         iterations += 1
         if iterations > max_iterations:  # pragma: no cover - defensive guard
             raise RuntimeError("saturation did not converge")
-        node, fact = pending.popleft()
-        label, origin = fact
+        fact, nid = divmod(pending.popleft(), num_nodes)
 
         # Propagate the new fact along null out-edges.
-        for edge in graph.null_out_edges(node):
-            _push(edge.target, fact)
+        for target in null_out[nid]:
+            _push(target, fact)
+
+        origin, lidp = divmod(fact, lp_base)
+        lid = lidp - 1
 
         # Discharge at matching recall edges by adding shortcut edges.
-        for target in graph.recall_targets(node, label):
-            if graph.add_edge(Edge(origin, target, EdgeKind.SATURATION)):
-                added += 1
-                # The new edge dirties origin -> target: replay every fact
-                # already reaching the origin across it.
-                existing = reaching.get(origin)
-                if existing:
-                    for known in list(existing):
-                        _push(target, known)
+        by_label = recall[nid]
+        if by_label is not None:
+            for target in by_label.get(lid, _EMPTY):
+                if add_saturation(origin, target):
+                    added += 1
+                    # The new edge dirties origin -> target: replay every
+                    # fact already reaching the origin across it.
+                    existing = reaching[origin]
+                    if existing:
+                        for known in list(existing):
+                            _push(target, known)
 
         # Lazy S-POINTER: swap pending store/load between the contravariant
-        # node and its covariant twin.
-        if node.variance is Variance.CONTRAVARIANT:
-            swapped = None
-            if label == STORE:
-                swapped = LOAD
-            elif label == LOAD:
-                swapped = STORE
-            if swapped is not None:
-                _push(Node(node.dtv, Variance.COVARIANT), (swapped, origin))
+        # node (odd nid) and its covariant twin (nid ^ 1).  A swap whose
+        # partner label never occurs in the graph is dropped: with no
+        # ``.store``/``.load`` recall edge to discharge it, the fact could
+        # never contribute an edge.
+        if nid & 1:
+            if lid == store_lid:
+                if load_lid >= 0:
+                    _push(nid ^ 1, origin * lp_base + load_lid + 1)
+            elif lid == load_lid:
+                if store_lid >= 0:
+                    _push(nid ^ 1, origin * lp_base + store_lid + 1)
 
     return added
 
@@ -117,3 +142,6 @@ def saturated(graph: ConstraintGraph) -> ConstraintGraph:
     """Convenience wrapper returning the (same, mutated) saturated graph."""
     saturate(graph)
     return graph
+
+
+_EMPTY: List[int] = []

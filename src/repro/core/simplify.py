@@ -21,18 +21,23 @@ eliminates procedure-local temporaries while preserving every interesting
 consequence.
 
 The traversal is a *memoized state search* shared across all interesting
-sources.  The exploration state is ``(node, len(alpha), beta)``: completions
-from a state depend only on the node, the pending stack and how much label
-budget alpha has left -- never on alpha's content or on which source got
-there.  The forward pass therefore discovers each interior state once (where
-the old per-source recursive DFS re-walked shared interior subpaths for every
-source and carried a global path budget that silently truncated results on
-large graphs); a reverse fixpoint then propagates terminal judgements back to
-the sources.  The state search also witnesses judgements the old elementary
-enumeration missed: paths that revisit a node with a *different* pending
-stack (recursive structures deriving e.g. ``list.load.next.load.next <= t``)
-are valid derivations and are now enumerated up to the depth bound, matching
-the deduction rules of Figure 3.
+sources, run entirely over the graph's integer kernel.  The exploration state
+is ``(node, len(alpha), beta)``: completions from a state depend only on the
+node, the pending stack and how much label budget alpha has left -- never on
+alpha's content or on which source got there.  States pack into single ints
+(``(beta * (depth_bound + 1) + depth) * num_nodes + nid`` with ``beta`` a
+base-``num_labels + 1`` digit string, top of stack least significant), so the
+seen-set, predecessor map and completion sets are all small-int dict/set
+operations; labels and derived type variables are only decoded at the final
+judgement read-off.  The forward pass discovers each interior state once
+(where the old per-source recursive DFS re-walked shared interior subpaths
+for every source and carried a global path budget that silently truncated
+results on large graphs); a reverse fixpoint then propagates terminal
+judgements back to the sources.  The state search also witnesses judgements
+the old elementary enumeration missed: paths that revisit a node with a
+*different* pending stack (recursive structures deriving e.g.
+``list.load.next.load.next <= t``) are valid derivations and are enumerated
+up to the depth bound, matching the deduction rules of Figure 3.
 
 ``derive_constant_bounds`` performs the Appendix D.4 queries: which derived
 type variables are bounded above/below by which type constants.  The solver
@@ -49,13 +54,19 @@ from typing import (
     Iterable,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )
 
 from .constraints import ConstraintSet, SubtypeConstraint
-from .graph import ConstraintGraph, Edge, EdgeKind, Node
+from .graph import (
+    ConstraintGraph,
+    Edge,
+    EdgeKind,
+    K_FORGET,
+    K_RECALL,
+    Node,
+)
 from .labels import Label, Variance, path_variance
 from .lattice import TypeLattice
 from .saturation import saturate
@@ -106,11 +117,13 @@ def _constraint_from_state(
     return constraint
 
 
-#: an exploration state: (node, labels appended to the source so far, pending stack).
-_StateKey = Tuple[Node, int, Tuple[Label, ...]]
-#: a completed judgement relative to a state: (end node, alpha suffix appended
-#: at or after the state, final pending stack).
-_Completion = Tuple[Node, Tuple[Label, ...], Tuple[Label, ...]]
+def _decode_word(packed: int, base: int, labels: List[Label]) -> Tuple[Label, ...]:
+    """Unpack a base-``base`` digit string, least significant digit first."""
+    out: List[Label] = []
+    while packed:
+        packed, digit = divmod(packed, base)
+        out.append(labels[digit - 1])
+    return tuple(out)
 
 
 def simplify_constraints(
@@ -135,7 +148,19 @@ def simplify_constraints(
         graph = ConstraintGraph(constraints)
         saturate(graph)
 
-    sources = [node for node in graph.nodes if node.dtv.base in interesting_bases]
+    depth_bound = max_label_depth
+    dtvs = graph._dtvs.items
+    labels = graph._labels.items
+    num_nodes = 2 * len(dtvs)
+    lp_base = len(labels) + 1
+    #: one more digit than any suffix/stack can hold, so a completion packs
+    #: as ``(suffix * suffix_base + beta) * num_nodes + end_nid``.
+    suffix_base = lp_base ** (depth_bound + 1)
+    depth_base = depth_bound + 1
+
+    present = graph._present
+    out_recs = graph._out_recs
+    interesting_dtv = [dtv.base in interesting_bases for dtv in dtvs]
 
     # -- forward pass: discover the shared state graph --------------------------
     #
@@ -144,15 +169,16 @@ def simplify_constraints(
     # variables); only uninteresting states are expanded.  Source states are
     # expanded too -- walks begin there -- without stopping terminal arrivals
     # from also being recorded at them.
-    seen: Set[_StateKey] = set()
-    frontier: Deque[_StateKey] = deque()
-    #: state -> {(predecessor state, label appended on that transition)}
-    preds: Dict[_StateKey, Set[Tuple[_StateKey, Optional[Label]]]] = {}
-    #: state -> completions contributed by its direct terminal transitions
-    comp: Dict[_StateKey, Set[_Completion]] = {}
-    propagate: Deque[Tuple[_StateKey, _Completion]] = deque()
+    seen: Set[int] = set()
+    #: (state key, nid, alpha depth, packed beta, beta length)
+    frontier: Deque[Tuple[int, int, int, int, int]] = deque()
+    #: state key -> {(predecessor key, lidp appended on that transition | 0)}
+    preds: Dict[int, Set[Tuple[int, int]]] = {}
+    #: state key -> packed completions contributed by terminal transitions
+    comp: Dict[int, Set[int]] = {}
+    propagate: Deque[Tuple[int, int]] = deque()
 
-    def _complete(key: _StateKey, completion: _Completion) -> None:
+    def _complete(key: int, completion: int) -> None:
         entries = comp.get(key)
         if entries is None:
             entries = set()
@@ -161,76 +187,106 @@ def simplify_constraints(
             entries.add(completion)
             propagate.append((key, completion))
 
-    initial_keys: List[Tuple[Node, _StateKey]] = []
-    for source in sources:
-        key: _StateKey = (source, 0, ())
-        initial_keys.append((source, key))
-        if key not in seen:
-            seen.add(key)
-            frontier.append(key)
+    # A source state has empty alpha and beta, so its key is just its nid.
+    initial_nids = [
+        nid
+        for nid in range(num_nodes)
+        if present[nid] and interesting_dtv[nid >> 1]
+    ]
+    for nid in initial_nids:
+        if nid not in seen:
+            seen.add(nid)
+            frontier.append((nid, nid, 0, 0, 0))
 
     while frontier:
-        key = frontier.popleft()
-        node, depth, beta = key
-        for edge in graph.out_edges(node):
-            kind = edge.kind
-            appended: Optional[Label] = None
-            if kind is EdgeKind.FORGET:
-                if len(beta) >= max_label_depth:
+        key, nid, depth, beta, beta_len = frontier.popleft()
+        for kind, lidp, target in out_recs[nid]:
+            appended = 0
+            if kind == K_FORGET:
+                if beta_len >= depth_bound:
                     continue
-                next_beta = beta + (edge.label,)
+                next_beta = beta * lp_base + lidp
+                next_blen = beta_len + 1
                 next_depth = depth
-            elif kind is EdgeKind.RECALL:
+            elif kind == K_RECALL:
                 if beta:
-                    if beta[-1] != edge.label:
+                    if beta % lp_base != lidp:
                         continue
-                    next_beta = beta[:-1]
+                    next_beta = beta // lp_base
+                    next_blen = beta_len - 1
                     next_depth = depth
                 else:
-                    if depth >= max_label_depth:
+                    if depth >= depth_bound:
                         continue
-                    next_beta = beta
+                    next_beta = 0
+                    next_blen = 0
                     next_depth = depth + 1
-                    appended = edge.label
+                    appended = lidp
             else:  # null edge
                 next_beta = beta
+                next_blen = beta_len
                 next_depth = depth
-            target = edge.target
-            if target.dtv.base in interesting_bases:
-                suffix = (appended,) if appended is not None else ()
-                _complete(key, (target, suffix, next_beta))
+            if interesting_dtv[target >> 1]:
+                _complete(key, (appended * suffix_base + next_beta) * num_nodes + target)
                 continue
-            next_key: _StateKey = (target, next_depth, next_beta)
-            preds.setdefault(next_key, set()).add((key, appended))
+            next_key = (next_beta * depth_base + next_depth) * num_nodes + target
+            entry = preds.get(next_key)
+            if entry is None:
+                entry = set()
+                preds[next_key] = entry
+            entry.add((key, appended))
             if next_key not in seen:
                 seen.add(next_key)
-                frontier.append(next_key)
+                frontier.append((next_key, target, next_depth, next_beta, next_blen))
 
     # -- reverse fixpoint: flow completions back towards the sources ------------
     #
     # A transition that appended label ``l`` turns a successor completion with
-    # alpha suffix ``w`` into one with suffix ``l.w``; depth bookkeeping in the
-    # forward pass guarantees the suffix never exceeds the label budget.
+    # alpha suffix ``w`` into one with suffix ``l.w`` (a prepend is a new
+    # least-significant digit); depth bookkeeping in the forward pass
+    # guarantees the suffix never exceeds the label budget.
     while propagate:
         key, completion = propagate.popleft()
         predecessors = preds.get(key)
         if not predecessors:
             continue
-        end, suffix, final_beta = completion
+        rest, end = divmod(completion, num_nodes)
+        suffix, final_beta = divmod(rest, suffix_base)
         for pred_key, appended in predecessors:
-            if appended is None:
-                _complete(pred_key, completion)
+            if appended:
+                _complete(
+                    pred_key,
+                    ((appended + suffix * lp_base) * suffix_base + final_beta)
+                    * num_nodes
+                    + end,
+                )
             else:
-                _complete(pred_key, (end, (appended,) + suffix, final_beta))
+                _complete(pred_key, completion)
 
     # -- read the judgements off at each source ---------------------------------
+    #
+    # The only object decode in the whole pass: packed alpha digits come out
+    # first-appended-first (the lhs word), packed beta digits top-first
+    # (exactly the reversed stack the rhs needs).
     output = ConstraintSet()
-    for source, key in initial_keys:
-        for end, alpha, final_beta in comp.get(key, ()):
-            constraint = _constraint_from_state(
-                source, _PathState(end, alpha, final_beta)
-            )
-            if constraint is not None:
+    for nid in initial_nids:
+        entries = comp.get(nid)
+        if not entries:
+            continue
+        source_dtv = dtvs[nid >> 1]
+        source_variance = Variance.CONTRAVARIANT if nid & 1 else Variance.COVARIANT
+        for completion in entries:
+            rest, end = divmod(completion, num_nodes)
+            suffix, final_beta = divmod(rest, suffix_base)
+            alpha = _decode_word(suffix, lp_base, labels)
+            lhs = source_dtv.with_labels(alpha)
+            rhs = dtvs[end >> 1].with_labels(_decode_word(final_beta, lp_base, labels))
+            orientation = source_variance * path_variance(alpha)
+            if orientation is Variance.COVARIANT:
+                constraint = SubtypeConstraint(lhs, rhs)
+            else:
+                constraint = SubtypeConstraint(rhs, lhs)
+            if constraint.left != constraint.right:
                 output.add(constraint)
     return output
 
@@ -272,30 +328,51 @@ def _reaches(
     forget/recall pairs of the prefix nodes (the graph always contains them
     for the goal endpoints).
     """
-    if start not in graph.nodes:
+    start_nid = graph._node_nid(start)
+    if start_nid is None:
         return False
-    initial: Tuple[Node, Tuple[Label, ...]] = (start, ())
-    seen = {initial}
-    stack = [initial]
+    dtvs = graph._dtvs.items
+    labels = graph._labels.items
+    out_recs = graph._out_recs
+    num_nodes = 2 * len(dtvs)
+    lp_base = len(labels) + 1
+    goal_base = goal.base
+    goal_labels = goal.labels
+    goal_len = len(goal_labels)
+
+    seen: Set[int] = {start_nid}  # packed: beta * num_nodes + nid
+    stack: List[Tuple[int, int, int]] = [(start_nid, 0, 0)]
     while stack:
-        node, beta = stack.pop()
-        if node.dtv.with_labels(tuple(reversed(beta))) == goal:
-            return True
-        for edge in graph.out_edges(node):
-            kind = edge.kind
-            if kind is EdgeKind.FORGET:
-                if len(beta) >= max_label_depth:
+        nid, beta, beta_len = stack.pop()
+        dtv = dtvs[nid >> 1]
+        own_labels = dtv.labels
+        if (
+            dtv.base == goal_base
+            and len(own_labels) + beta_len == goal_len
+            and goal_labels[: len(own_labels)] == own_labels
+        ):
+            # The state reads back as ``dtv . reversed(beta)``; decoding the
+            # packed stack yields exactly that top-first order.
+            if _decode_word(beta, lp_base, labels) == goal_labels[len(own_labels):]:
+                return True
+        for kind, lidp, target in out_recs[nid]:
+            if kind == K_FORGET:
+                if beta_len >= max_label_depth:
                     continue
-                state = (edge.target, beta + (edge.label,))
-            elif kind is EdgeKind.RECALL:
-                if not beta or beta[-1] != edge.label:
+                next_beta = beta * lp_base + lidp
+                next_blen = beta_len + 1
+            elif kind == K_RECALL:
+                if not beta or beta % lp_base != lidp:
                     continue
-                state = (edge.target, beta[:-1])
+                next_beta = beta // lp_base
+                next_blen = beta_len - 1
             else:
-                state = (edge.target, beta)
+                next_beta = beta
+                next_blen = beta_len
+            state = next_beta * num_nodes + target
             if state not in seen:
                 seen.add(state)
-                stack.append(state)
+                stack.append((target, next_beta, next_blen))
     return False
 
 
@@ -330,49 +407,82 @@ def derive_constant_bounds(
     Returns triples ``(dtv, kind, constant)`` where ``kind`` is ``"lower"``
     (the constant flows into the variable) or ``"upper"`` (the variable flows
     into the constant).  The traversal explores the saturated graph from every
-    type-constant node, tracking the pending label stack so the judgement's
-    variable side can be reconstructed; recursion is kept finite by bounding
-    the pending depth and the number of visited states.
+    type-constant node over packed int states, tracking the pending label
+    stack so the judgement's variable side can be reconstructed; recursion is
+    kept finite by bounding the pending depth and the number of visited
+    states.  Start nodes are enumerated in dtv-id (insertion) order, so the
+    result list -- and through it the order lattice bounds are applied in --
+    is a pure function of the constraint set.
     """
     results: List[Tuple[DerivedTypeVariable, str, str]] = []
     seen_results: Set[Tuple[DerivedTypeVariable, str, str]] = set()
 
-    constant_nodes = [
-        node
-        for node in graph.nodes
-        if node.dtv.is_base and lattice.is_constant(node.dtv.base)
+    dtvs = graph._dtvs.items
+    labels = graph._labels.items
+    present = graph._present
+    out_recs = graph._out_recs
+    num_dtvs = len(dtvs)
+    num_nodes = 2 * num_dtvs
+    lp_base = len(labels) + 1
+    is_constant = lattice.is_constant
+
+    constant_dids = [
+        did
+        for did, dtv in enumerate(dtvs)
+        if dtv.is_base and is_constant(dtv.base)
     ]
 
-    for start in constant_nodes:
-        kind = "lower" if start.variance is Variance.COVARIANT else "upper"
-        constant = start.dtv.base
-        visited: Set[Tuple[Node, Tuple[Label, ...]]] = set()
-        stack: List[Tuple[Node, Tuple[Label, ...]]] = [(start, ())]
-        states = 0
-        while stack and states < max_states:
-            node, beta = stack.pop()
-            if (node, beta) in visited:
+    #: shared decode memos: packed beta -> reversed label word, and
+    #: ``beta * num_dtvs + did`` -> the derived variable it reads back as.
+    word_cache: Dict[int, Tuple[Label, ...]] = {0: ()}
+    dtv_cache: Dict[int, DerivedTypeVariable] = {}
+
+    for did in constant_dids:
+        for bit in (0, 1):
+            start = did * 2 + bit
+            if not present[start]:
                 continue
-            visited.add((node, beta))
-            states += 1
-            for edge in graph.out_edges(node):
-                if edge.kind is EdgeKind.FORGET:
-                    if len(beta) >= max_pending:
-                        continue
-                    new_beta = beta + (edge.label,)
-                elif edge.kind is EdgeKind.RECALL:
-                    if not beta or beta[-1] != edge.label:
-                        continue  # constants have no capabilities of their own
-                    new_beta = beta[:-1]
-                else:
-                    new_beta = beta
-                target = edge.target
-                dtv = target.dtv.with_labels(tuple(reversed(new_beta)))
-                if not (dtv.is_base and lattice.is_constant(dtv.base)):
-                    entry = (dtv, kind, constant)
-                    if entry not in seen_results:
-                        seen_results.add(entry)
-                        results.append(entry)
-                if (target, new_beta) not in visited:
-                    stack.append((target, new_beta))
+            kind = "lower" if bit == 0 else "upper"
+            constant = dtvs[did].base
+            visited: Set[int] = set()
+            stack: List[Tuple[int, int, int]] = [(start, 0, 0)]
+            states = 0
+            while stack and states < max_states:
+                nid, beta, beta_len = stack.pop()
+                state = beta * num_nodes + nid
+                if state in visited:
+                    continue
+                visited.add(state)
+                states += 1
+                for edge_kind, lidp, target in out_recs[nid]:
+                    if edge_kind == K_FORGET:
+                        if beta_len >= max_pending:
+                            continue
+                        new_beta = beta * lp_base + lidp
+                        new_blen = beta_len + 1
+                    elif edge_kind == K_RECALL:
+                        # Constants have no capabilities of their own.
+                        if not beta or beta % lp_base != lidp:
+                            continue
+                        new_beta = beta // lp_base
+                        new_blen = beta_len - 1
+                    else:
+                        new_beta = beta
+                        new_blen = beta_len
+                    dtv_key = new_beta * num_dtvs + (target >> 1)
+                    dtv = dtv_cache.get(dtv_key)
+                    if dtv is None:
+                        word = word_cache.get(new_beta)
+                        if word is None:
+                            word = _decode_word(new_beta, lp_base, labels)
+                            word_cache[new_beta] = word
+                        dtv = dtvs[target >> 1].with_labels(word)
+                        dtv_cache[dtv_key] = dtv
+                    if not (dtv.is_base and is_constant(dtv.base)):
+                        entry = (dtv, kind, constant)
+                        if entry not in seen_results:
+                            seen_results.add(entry)
+                            results.append(entry)
+                    if new_beta * num_nodes + target not in visited:
+                        stack.append((target, new_beta, new_blen))
     return results

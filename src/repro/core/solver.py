@@ -57,6 +57,12 @@ class SolveStats:
     saturate_seconds: float = 0.0
     simplify_seconds: float = 0.0
     sketch_seconds: float = 0.0
+    #: process-backend codec overhead: task encode (parent) + task decode and
+    #: summary encode (worker).  Kept out of ``total_seconds`` -- it is
+    #: transport overhead around the solve, not a solve stage -- but merged,
+    #: serialized and folded into the metrics registry like the stages so the
+    #: stats verbs show where backend overhead actually goes.
+    codec_seconds: float = 0.0
     graph_nodes: int = 0
     graph_edges: int = 0
     saturation_edges: int = 0
@@ -80,6 +86,7 @@ class SolveStats:
         self.saturate_seconds += other.saturate_seconds
         self.simplify_seconds += other.simplify_seconds
         self.sketch_seconds += other.sketch_seconds
+        self.codec_seconds += other.codec_seconds
         self.graph_nodes += other.graph_nodes
         self.graph_edges += other.graph_edges
         self.saturation_edges += other.saturation_edges
@@ -94,6 +101,7 @@ class SolveStats:
             "saturate_seconds": self.saturate_seconds,
             "simplify_seconds": self.simplify_seconds,
             "sketch_seconds": self.sketch_seconds,
+            "codec_seconds": self.codec_seconds,
             "total_seconds": self.total_seconds,
             "graph_nodes": self.graph_nodes,
             "graph_edges": self.graph_edges,
@@ -113,6 +121,7 @@ class SolveStats:
             "saturate_seconds",
             "simplify_seconds",
             "sketch_seconds",
+            "codec_seconds",
             "graph_nodes",
             "graph_edges",
             "saturation_edges",
@@ -358,7 +367,7 @@ class Solver:
             start = timer()
             with tracer.span("solver.graph") as graph_span:
                 graph = ConstraintGraph(constraints)
-                graph_span.set("nodes", len(graph.nodes))
+                graph_span.set("nodes", graph.num_nodes)
             graph_seconds = timer() - start
 
             start = timer()
@@ -390,7 +399,7 @@ class Solver:
             stats.saturation_edges += saturation_edges
             stats.constant_bounds += bound_count
             if graph is not None:
-                stats.graph_nodes += len(graph.nodes)
+                stats.graph_nodes += graph.num_nodes
                 stats.graph_edges += len(graph)
         return shapes, graph
 

@@ -127,14 +127,25 @@ def analyze_corpus(
         service = AnalysisService(
             config=config, lattice=lattice, externs=externs, store=store
         )
-    items = programs.items() if isinstance(programs, Mapping) else programs
+    items = list(programs.items() if isinstance(programs, Mapping) else programs)
 
     reports: Dict[str, ProgramReport] = {}
     try:
+        prewarmed = (
+            _prewarm_corpus(service, items) if _use_corpus_fanout(service, items) else {}
+        )
         for name, source in items:
             start = time.perf_counter()
-            types = service.analyze(source)
-            elapsed = time.perf_counter() - start
+            warmed = prewarmed.get(name)
+            if warmed is not None:
+                types = service.analyze(source, inputs=warmed.inputs)
+                types.stats["cache_hits"] = warmed.cache_hits
+                types.stats["cache_misses"] = warmed.cache_misses
+                types.stats["stage_seconds"] = warmed.stage_stats
+                elapsed = warmed.seconds + (time.perf_counter() - start)
+            else:
+                types = service.analyze(source)
+                elapsed = time.perf_counter() - start
             reports[name] = ProgramReport(
                 name=name,
                 types=types,
@@ -150,3 +161,86 @@ def analyze_corpus(
             service.close()
     store_stats = service.store.stats.snapshot() if service.store is not None else {}
     return CorpusReport(reports=reports, store_stats=store_stats)
+
+
+@dataclass
+class _PrewarmedProgram:
+    """What corpus fan-out brings back for one program (see ``_prewarm_corpus``)."""
+
+    inputs: Dict[str, object]  # name -> ProcedureTypingInput, worker-generated
+    cache_hits: int
+    cache_misses: int
+    stage_stats: Dict[str, object]  # worker SolveStats.to_json()
+    seconds: float  # worker wall-clock for this program
+
+
+def _use_corpus_fanout(service: AnalysisService, items: List[Tuple[str, object]]) -> bool:
+    """Corpus fan-out needs the process backend and a probe-able store.
+
+    Wave-level parallelism is the wrong grain for corpora of small programs
+    (a dozen-function program has two-SCC waves, so IPC dominates); program-
+    level fan-out is the wrong grain for a single huge binary.  ``analyze``
+    keeps the per-wave process backend; this path takes over exactly when a
+    multi-program corpus runs under ``executor="processes"`` with the summary
+    cache on (the parent rebuild relies on admitting worker summaries).
+    """
+    return (
+        len(items) > 1
+        and service.scheduler.executor == "processes"
+        and service.config.use_cache
+        and service.store is not None
+    )
+
+
+def _prewarm_corpus(
+    service: AnalysisService, items: List[Tuple[str, object]]
+) -> Dict[str, _PrewarmedProgram]:
+    """Fan the corpus out over the process pool; returns per-program context.
+
+    Workers run parse + constraint generation + bottom-up SCC solving for
+    whole programs and ship back (a) every SCC's summary payload, admitted
+    here into the service's store, and (b) the typing inputs in the integer
+    codec.  Programs whose chunk failed (worker crash, undecodable reply) are
+    simply absent from the result and fall back to the in-process path.
+    """
+    from .procpool import _TableReader, decode_input, encode_corpus_task
+
+    pool = service._ensure_procpool()
+    chunk_count = max(
+        1, min(len(items), pool.max_workers * pool.chunks_per_worker)
+    )
+    chunks = [items[index::chunk_count] for index in range(chunk_count)]
+    payloads = [
+        encode_corpus_task(
+            [
+                (name, source if isinstance(source, str) else str(source))
+                for name, source in chunk
+            ]
+        )
+        for chunk in chunks
+    ]
+    replies = pool.submit_chunks(payloads)
+
+    prewarmed: Dict[str, _PrewarmedProgram] = {}
+    for reply in replies:
+        if reply is None or reply.get("kind") != "programs":
+            continue
+        reader = _TableReader(reply["strings"])
+        for entry in reply.get("programs", ()):
+            try:
+                inputs = {
+                    pname: decode_input(pname, encoded, reader)
+                    for pname, encoded in entry["inputs"].items()
+                }
+                for key, payload in entry["summaries"]:
+                    service.store.admit_payload(key, payload, write_disk=False)
+            except Exception:
+                continue  # parent re-analyzes this program in process
+            prewarmed[entry["name"]] = _PrewarmedProgram(
+                inputs=inputs,
+                cache_hits=int(entry.get("cache_hits", 0)),
+                cache_misses=int(entry.get("cache_misses", 0)),
+                stage_stats=dict(entry.get("stats", {})),
+                seconds=float(entry.get("seconds", 0.0)),
+            )
+    return prewarmed

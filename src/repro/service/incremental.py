@@ -200,8 +200,18 @@ class AnalysisService:
 
     # -- public API ------------------------------------------------------------
 
-    def analyze(self, source: Union[str, "Program"]):
-        """Analyze one program; returns :class:`repro.pipeline.ProgramTypes`."""
+    def analyze(
+        self,
+        source: Union[str, "Program"],
+        inputs: Optional[Mapping[str, ProcedureTypingInput]] = None,
+    ):
+        """Analyze one program; returns :class:`repro.pipeline.ProgramTypes`.
+
+        ``inputs`` optionally supplies precomputed typing inputs (skipping
+        constraint generation); the corpus fan-out path uses it with inputs a
+        worker generated and shipped back, paired with a store pre-warmed by
+        that worker's summaries, so this call reduces to decode + display.
+        """
         from ..pipeline import ProgramTypes, _function_types
         from ..core.display import TypeDisplay
 
@@ -212,8 +222,17 @@ class AnalysisService:
             root.set("procedures", len(program.procedures))
 
             start = time.perf_counter()
-            with tracer.span("service.constraint_gen"):
-                inputs = generate_program_constraints(program, self.extern_table)
+            if inputs is None:
+                with tracer.span("service.constraint_gen"):
+                    inputs = generate_program_constraints(program, self.extern_table)
+            else:
+                # Re-impose program order: supplied inputs may arrive in wire
+                # order (JSON objects are shipped with sorted keys) and the
+                # display layer's struct numbering follows SCC enumeration
+                # order, which follows this dict's order.
+                inputs = {
+                    name: inputs[name] for name in program.procedures if name in inputs
+                }
             constraint_time = time.perf_counter() - start
 
             solve_start = time.perf_counter()
@@ -339,6 +358,7 @@ class AnalysisService:
         )
         if runner is not None:
             stage_stats.worker_failed += runner.worker_failed
+            stage_stats.codec_seconds += runner.codec_seconds
 
         registry = get_registry()
         registry.record_stage_stats(stage_stats.to_json())

@@ -42,7 +42,13 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.constraints import ConstraintSet
+from ..core.constraints import (
+    AddConstraint,
+    ConstraintSet,
+    SubConstraint,
+    SubtypeConstraint,
+)
+from ..core.intern import StringTable
 from ..core.lattice import TypeLattice
 from ..core.schemes import TypeScheme
 from ..core.sketches import Sketch
@@ -62,13 +68,19 @@ from .store import (
     STORE_FORMAT,
     SummaryStore,
     deserialize_summary,
+    environment_fingerprint,
+    program_fingerprints,
+    scc_summary_keys,
     serialize_summary,
     summarize_scc,
 )
 
 #: bump when the environment/task payload layout changes so a stale worker
-#: (from a hot-reloaded parent) can never misinterpret a task.
-PROCPOOL_FORMAT = "retypd-procpool-v1"
+#: (from a hot-reloaded parent) can never misinterpret a task.  v2 replaced
+#: the nested-JSON task payloads with compact integer tables: one
+#: string-intern table per task plus flat int arrays for constraints,
+#: formals, callsites, scheme and sketch entries.
+PROCPOOL_FORMAT = "retypd-procpool-v2"
 
 #: multiprocessing start method; ``spawn`` is deliberate -- the parent may be
 #: a threaded asyncio daemon, and forking a threaded process is undefined
@@ -131,63 +143,223 @@ def encode_environment(
 # ---------------------------------------------------------------------------
 # Task codec (parent -> worker, one chunk of SCCs per message)
 # ---------------------------------------------------------------------------
+#
+# v2 layout: every task carries one string-intern table (``strings``) and all
+# derived-type-variable / lattice-element / label occurrences are table ids in
+# *flat int arrays* -- a constraint set is ``{"s": [lhs, rhs, lhs, rhs, ...],
+# "a": [op, l, r, res, ...]}``, a sketch is ``{"n": [node, lower, upper, ...],
+# "e": [src, label, dst, ...]}``.  The worker parses each distinct string at
+# most once (``_TableReader`` memoizes per id) no matter how many constraint
+# slots reference it, where the v1 nested-JSON codec re-parsed every
+# occurrence and shipped every repeated variable spelled out.
 
 
-def encode_callee(result: ProcedureResult) -> Dict[str, object]:
-    """One already-solved callee, as the worker's solver needs it.
+class _TableReader:
+    """Worker-side view of a task's string table: parse each id at most once."""
+
+    __slots__ = ("strings", "_dtvs")
+
+    def __init__(self, strings: Sequence[str]) -> None:
+        self.strings = strings
+        self._dtvs: List[Optional[object]] = [None] * len(strings)
+
+    def text(self, sid: int) -> str:
+        return self.strings[sid]
+
+    def dtv(self, sid: int):
+        dtv = self._dtvs[sid]
+        if dtv is None:
+            dtv = parse_dtv(self.strings[sid])
+            self._dtvs[sid] = dtv
+        return dtv
+
+
+def encode_constraints(
+    constraints: ConstraintSet, intern: Callable[[str], int]
+) -> Dict[str, List[int]]:
+    """A constraint set as flat id arrays (sorted, hence canonical)."""
+    subtype: List[int] = []
+    for c in sorted(constraints.subtype, key=str):
+        subtype.append(intern(str(c.left)))
+        subtype.append(intern(str(c.right)))
+    additive: List[int] = []
+    for c in sorted(constraints.additive, key=str):
+        additive.append(0 if isinstance(c, AddConstraint) else 1)
+        additive.append(intern(str(c.left)))
+        additive.append(intern(str(c.right)))
+        additive.append(intern(str(c.result)))
+    return {"s": subtype, "a": additive}
+
+
+def decode_constraints(
+    entry: Mapping[str, Sequence[int]], reader: _TableReader
+) -> ConstraintSet:
+    """Inverse of :func:`encode_constraints`."""
+    out = ConstraintSet()
+    dtv = reader.dtv
+    subtype = entry["s"]
+    for i in range(0, len(subtype), 2):
+        out.subtype.add(SubtypeConstraint(dtv(subtype[i]), dtv(subtype[i + 1])))
+    additive = entry["a"]
+    for i in range(0, len(additive), 4):
+        ctor = AddConstraint if additive[i] == 0 else SubConstraint
+        out.additive.add(
+            ctor(dtv(additive[i + 1]), dtv(additive[i + 2]), dtv(additive[i + 3]))
+        )
+    return out
+
+
+def _encode_sketch_entry(
+    data: Mapping[str, object], intern: Callable[[str], int]
+) -> Dict[str, List[int]]:
+    """Flatten one ``Sketch.to_json`` dict, interning lattice/label strings."""
+    nodes: List[int] = []
+    for ident, lower, upper in data["nodes"]:
+        nodes.append(ident)
+        nodes.append(intern(lower))
+        nodes.append(intern(upper))
+    edges: List[int] = []
+    for src, label_text, dst in data["edges"]:
+        edges.append(src)
+        edges.append(intern(label_text))
+        edges.append(dst)
+    return {"n": nodes, "e": edges}
+
+
+def _decode_sketch_entry(
+    entry: Mapping[str, Sequence[int]], reader: _TableReader, lattice: TypeLattice
+) -> Sketch:
+    text = reader.text
+    nodes = entry["n"]
+    edges = entry["e"]
+    return Sketch.from_json(
+        {
+            "nodes": [
+                [nodes[i], text(nodes[i + 1]), text(nodes[i + 2])]
+                for i in range(0, len(nodes), 3)
+            ],
+            "edges": [
+                [edges[i], text(edges[i + 1]), edges[i + 2]]
+                for i in range(0, len(edges), 3)
+            ],
+        },
+        lattice,
+    )
+
+
+def callee_capsule(result: ProcedureResult) -> Dict[str, object]:
+    """The wave-cacheable object->strings step of encoding one callee.
+
+    Sketch serialization (a BFS with sorted edges per node) is the expensive
+    part of shipping a callee; ``working`` is fixed while a wave is in
+    flight, so :class:`ProcessWaveRunner` computes this once per callee per
+    wave and every chunk then only pays the cheap string-interning step in
+    :func:`encode_callee`.
+    """
+    scheme = result.scheme
+    return {
+        "constraints": scheme.constraints,
+        "quantified": sorted(scheme.quantified),
+        "scheme_ins": [str(dtv) for dtv in scheme.formal_ins],
+        "scheme_outs": [str(dtv) for dtv in scheme.formal_outs],
+        "formal_ins": [
+            (str(dtv), sketch.to_json())
+            for dtv, sketch in result.formal_in_sketches.items()
+        ],
+        "formal_outs": [
+            (str(dtv), sketch.to_json())
+            for dtv, sketch in result.formal_out_sketches.items()
+        ],
+    }
+
+
+def encode_callee(
+    capsule: Mapping[str, object], intern: Callable[[str], int]
+) -> Dict[str, object]:
+    """One already-solved callee as table-ref arrays, from its capsule.
 
     Callsite instantiation reads the callee's *scheme*; REFINEPARAMETERS
     collection reads the *set* of formal in/out sketches.  Shapes are never
     shipped -- exactly the information discipline of the summary store.
     """
     return {
-        "scheme": result.scheme.to_json(),
+        "scheme": {
+            "c": encode_constraints(capsule["constraints"], intern),
+            "q": [intern(name) for name in capsule["quantified"]],
+            "fi": [intern(text) for text in capsule["scheme_ins"]],
+            "fo": [intern(text) for text in capsule["scheme_outs"]],
+        },
         "formal_ins": [
-            [str(dtv), sketch.to_json()]
-            for dtv, sketch in result.formal_in_sketches.items()
+            [intern(text), _encode_sketch_entry(data, intern)]
+            for text, data in capsule["formal_ins"]
         ],
         "formal_outs": [
-            [str(dtv), sketch.to_json()]
-            for dtv, sketch in result.formal_out_sketches.items()
+            [intern(text), _encode_sketch_entry(data, intern)]
+            for text, data in capsule["formal_outs"]
         ],
     }
 
 
-def decode_callee(name: str, entry: Mapping[str, object], lattice: TypeLattice) -> ProcedureResult:
+def decode_callee(
+    name: str,
+    entry: Mapping[str, object],
+    reader: _TableReader,
+    lattice: TypeLattice,
+) -> ProcedureResult:
     """Inverse of :func:`encode_callee` (worker side)."""
+    scheme_entry = entry["scheme"]
+    scheme = TypeScheme(
+        proc=name,
+        constraints=decode_constraints(scheme_entry["c"], reader),
+        quantified=frozenset(reader.text(sid) for sid in scheme_entry["q"]),
+        formal_ins=tuple(reader.dtv(sid) for sid in scheme_entry["fi"]),
+        formal_outs=tuple(reader.dtv(sid) for sid in scheme_entry["fo"]),
+    )
     return ProcedureResult(
         name=name,
-        scheme=TypeScheme.from_json(entry["scheme"]),
+        scheme=scheme,
         formal_in_sketches={
-            parse_dtv(text): Sketch.from_json(data, lattice)
-            for text, data in entry["formal_ins"]
+            reader.dtv(sid): _decode_sketch_entry(data, reader, lattice)
+            for sid, data in entry["formal_ins"]
         },
         formal_out_sketches={
-            parse_dtv(text): Sketch.from_json(data, lattice)
-            for text, data in entry["formal_outs"]
+            reader.dtv(sid): _decode_sketch_entry(data, reader, lattice)
+            for sid, data in entry["formal_outs"]
         },
         shapes=None,
     )
 
 
-def encode_input(proc: ProcedureTypingInput) -> Dict[str, object]:
-    """One procedure's solver input as canonical JSON."""
+def encode_input(
+    proc: ProcedureTypingInput, intern: Callable[[str], int]
+) -> Dict[str, object]:
+    """One procedure's solver input as flat table-ref arrays."""
+    callsites: List[int] = []
+    for c in proc.callsites:
+        callsites.append(intern(c.callee))
+        callsites.append(intern(c.base))
     return {
-        "constraints": proc.constraints.to_json(),
-        "formal_ins": [str(dtv) for dtv in proc.formal_ins],
-        "formal_outs": [str(dtv) for dtv in proc.formal_outs],
-        "callsites": [[c.callee, c.base] for c in proc.callsites],
+        "c": encode_constraints(proc.constraints, intern),
+        "fi": [intern(str(dtv)) for dtv in proc.formal_ins],
+        "fo": [intern(str(dtv)) for dtv in proc.formal_outs],
+        "cs": callsites,
     }
 
 
-def decode_input(name: str, entry: Mapping[str, object]) -> ProcedureTypingInput:
+def decode_input(
+    name: str, entry: Mapping[str, object], reader: _TableReader
+) -> ProcedureTypingInput:
     """Inverse of :func:`encode_input` (worker side)."""
+    callsites = entry["cs"]
     return ProcedureTypingInput(
         name=name,
-        constraints=ConstraintSet.from_json(entry["constraints"]),
-        formal_ins=tuple(parse_dtv(text) for text in entry["formal_ins"]),
-        formal_outs=tuple(parse_dtv(text) for text in entry["formal_outs"]),
-        callsites=tuple(Callsite(callee, base) for callee, base in entry["callsites"]),
+        constraints=decode_constraints(entry["c"], reader),
+        formal_ins=tuple(reader.dtv(sid) for sid in entry["fi"]),
+        formal_outs=tuple(reader.dtv(sid) for sid in entry["fo"]),
+        callsites=tuple(
+            Callsite(reader.text(callsites[i]), reader.text(callsites[i + 1]))
+            for i in range(0, len(callsites), 2)
+        ),
     )
 
 
@@ -201,18 +373,23 @@ def encode_task(
 ) -> str:
     """One worker task: a chunk of same-wave SCCs plus their callee context.
 
+    The whole task shares one string-intern table; constraints, formals,
+    callsites and callee schemes/sketches are flat int arrays referencing it.
     Callee results are deduplicated across the chunk (same-wave SCCs often
     share callees from earlier waves) and the summary-store key rides along so
     the worker can probe/publish the shared disk tier itself.  ``callee_cache``
-    memoizes encoded callees across the chunks of one wave -- ``working`` is
-    fixed while a wave is in flight, and a helper shared by every SCC of a
-    wide wave would otherwise be re-encoded once per chunk.  ``trace`` (a
-    :meth:`Tracer.current_context` dict) asks the worker to record spans for
-    this chunk, parented under the given span id; omitted when tracing is off
-    so the payload carries no dead weight.
+    memoizes the object->strings :func:`callee_capsule` step across the chunks
+    of one wave -- ``working`` is fixed while a wave is in flight, and a
+    helper shared by every SCC of a wide wave would otherwise re-serialize its
+    sketches once per chunk.  ``trace`` (a :meth:`Tracer.current_context`
+    dict) asks the worker to record spans for this chunk, parented under the
+    given span id; omitted when tracing is off so the payload carries no dead
+    weight.
     """
     if callee_cache is None:
         callee_cache = {}
+    table = StringTable()
+    intern = table.intern
     sccs: List[Dict[str, object]] = []
     callees: Dict[str, Dict[str, object]] = {}
     for scc in chunk:
@@ -220,14 +397,16 @@ def encode_task(
         scc_inputs: Dict[str, Dict[str, object]] = {}
         for name in scc:
             proc = inputs[name]
-            scc_inputs[name] = encode_input(proc)
+            scc_inputs[name] = encode_input(proc, intern)
             for callsite in proc.callsites:
                 callee = callsite.callee
                 if callee in scc_set or callee in callees or callee not in working:
                     continue
-                if callee not in callee_cache:
-                    callee_cache[callee] = encode_callee(working[callee])
-                callees[callee] = callee_cache[callee]
+                capsule = callee_cache.get(callee)
+                if capsule is None:
+                    capsule = callee_capsule(working[callee])
+                    callee_cache[callee] = capsule
+                callees[callee] = encode_callee(capsule, intern)
         sccs.append(
             {
                 "scc": list(scc),
@@ -235,7 +414,12 @@ def encode_task(
                 "inputs": scc_inputs,
             }
         )
-    message: Dict[str, object] = {"format": PROCPOOL_FORMAT, "sccs": sccs, "callees": callees}
+    message: Dict[str, object] = {
+        "format": PROCPOOL_FORMAT,
+        "strings": table.to_list(),
+        "sccs": sccs,
+        "callees": callees,
+    }
     if trace is not None:
         message["trace"] = dict(trace)
     return json.dumps(message, sort_keys=True, separators=(",", ":"))
@@ -271,12 +455,15 @@ class _WorkerState:
             polymorphic=env["solver"]["polymorphic"],
         )
         self.solver = Solver(self.lattice, extern_schemes(self.extern_table), config)
+        self.config = config
         self.refine = config.refine_parameters
         cache_dir = env.get("cache_dir")
-        # A small memory tier: the worker's value is its *disk* handle (shared
-        # with every other process); repeated in-memory hits belong upstream.
-        self.store: Optional[SummaryStore] = (
-            SummaryStore(capacity=256, cache_dir=cache_dir) if cache_dir else None
+        # Always keep a store: the disk tier (when configured) is shared with
+        # every other process, and the small memory tier persists across this
+        # worker's tasks -- corpus-mode chunks of cluster binaries reuse each
+        # other's shared-library SCCs here without any parent round-trip.
+        self.store: Optional[SummaryStore] = SummaryStore(
+            capacity=256, cache_dir=cache_dir
         )
 
 
@@ -315,16 +502,21 @@ def _worker_solve_chunk(task_json: str) -> str:
     state = _STATE
     if state is None:  # pragma: no cover - initializer contract violation
         raise RuntimeError("worker used before initialization")
+    codec_start = time.perf_counter()
     task = json.loads(task_json)
     if task.get("format") != PROCPOOL_FORMAT:
         raise RuntimeError(
             f"procpool task format {task.get('format')!r} != {PROCPOOL_FORMAT!r}"
         )
+    if task.get("kind") == "programs":
+        return _worker_analyze_programs(state, task)
 
+    reader = _TableReader(task["strings"])
     callees: Dict[str, ProcedureResult] = {
-        name: decode_callee(name, entry, state.lattice)
+        name: decode_callee(name, entry, reader, state.lattice)
         for name, entry in task["callees"].items()
     }
+    codec_seconds = time.perf_counter() - codec_start
 
     # When the parent sent a trace context, record this chunk's spans on a
     # local tracer (same trace id, parented under the parent's wave span) and
@@ -334,6 +526,7 @@ def _worker_solve_chunk(task_json: str) -> str:
     tracer = Tracer(trace_id=trace_ctx["trace_id"]) if trace_ctx else None
 
     def solve_chunk() -> List[Dict[str, object]]:
+        nonlocal codec_seconds
         results: List[Dict[str, object]] = []
         active = get_tracer()
         for item in task["sccs"]:
@@ -356,9 +549,12 @@ def _worker_solve_chunk(task_json: str) -> str:
                     )
                     continue
 
+            decode_start = time.perf_counter()
             scc_inputs = {
-                name: decode_input(name, entry) for name, entry in item["inputs"].items()
+                name: decode_input(name, entry, reader)
+                for name, entry in item["inputs"].items()
             }
+            codec_seconds += time.perf_counter() - decode_start
             stats = SolveStats()
             with active.span("procpool.solve_scc", scc=",".join(scc)):
                 scc_results = state.solver.solve_scc(
@@ -394,9 +590,121 @@ def _worker_solve_chunk(task_json: str) -> str:
     else:
         results = solve_chunk()
 
-    reply: Dict[str, object] = {"pid": os.getpid(), "results": results}
+    # codec_seconds covers this chunk's decode side (task parse, string-table
+    # reads, callee/input reconstruction); the reply's own json.dumps cannot
+    # time itself and is counted by the parent's receive path instead.
+    reply: Dict[str, object] = {
+        "pid": os.getpid(),
+        "results": results,
+        "codec_seconds": codec_seconds,
+    }
     if tracer is not None:
         reply["spans"] = tracer.spans()
+    return json.dumps(reply, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Corpus mode: whole programs per task (parent -> worker)
+# ---------------------------------------------------------------------------
+#
+# Small-program corpora defeat wave-level parallelism -- a dozen-function
+# program has waves of two or three SCCs, so every wave round-trip costs more
+# IPC than it buys solving.  Corpus mode instead ships *whole programs* (as
+# their canonical assembly text) and each worker runs the full front half of
+# the service pipeline -- parse, constraint generation, bottom-up SCC solving
+# -- returning the per-SCC summary payloads plus the typing inputs in the v2
+# integer codec.  The parent admits the payloads into its store and replays
+# ``analyze`` per program with the shipped inputs: every SCC hits the warm
+# store, so the parent pays only the decode + display boundary while the
+# heavy lifting ran in parallel.
+
+
+def encode_corpus_task(programs: Sequence[Tuple[str, str]]) -> str:
+    """One corpus-mode task: ``(name, canonical asm text)`` per program."""
+    return json.dumps(
+        {
+            "format": PROCPOOL_FORMAT,
+            "kind": "programs",
+            "programs": [[name, text] for name, text in programs],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _worker_analyze_programs(state: "_WorkerState", task: Mapping[str, object]) -> str:
+    """Corpus-mode worker body: full per-program solve, summaries shipped back."""
+    from ..ir.asmparser import parse_program
+    from ..ir.callgraph import CallGraph
+    from ..typegen.abstract_interp import generate_program_constraints
+
+    env_fp = environment_fingerprint(state.lattice, state.extern_table, state.config)
+    table = StringTable()
+    entries: List[Dict[str, object]] = []
+    for name, text in task["programs"]:
+        start = time.perf_counter()
+        program = parse_program(text)
+        inputs = generate_program_constraints(program, state.extern_table)
+        callgraph = CallGraph.from_typing_inputs(inputs)
+        sccs = callgraph.sccs_bottom_up()
+        keys = scc_summary_keys(
+            sccs, callgraph.edges, program_fingerprints(program), env_fp
+        )
+        stats = SolveStats()
+        working: Dict[str, ProcedureResult] = {}
+        hits = 0
+        summaries: List[List[object]] = []
+        for scc in sccs:
+            key = keys[tuple(scc)]
+            payload = state.store.get_payload(key) if state.store is not None else None
+            if payload is not None:
+                hits += 1
+                summary = deserialize_summary(payload, state.lattice)
+                working.update(
+                    (pname, procedure.to_result())
+                    for pname, procedure in summary.procedures.items()
+                )
+            else:
+                _check_fault_injection(scc)
+                scc_results = state.solver.solve_scc(scc, inputs, working, stats=stats)
+                if state.refine:
+                    merged = ChainMap(scc_results, working)
+                    contributions = {
+                        pname: collect_caller_contributions(
+                            inputs[pname], scc_results[pname], merged
+                        )
+                        for pname in scc
+                    }
+                else:
+                    contributions = {}
+                working.update(scc_results)
+                payload = serialize_summary(summarize_scc(scc, scc_results, contributions))
+                if state.store is not None:
+                    state.store.admit_payload(key, payload, write_disk=True)
+            summaries.append([key, payload])
+        codec_start = time.perf_counter()
+        encoded_inputs = {
+            pname: encode_input(proc, table.intern) for pname, proc in inputs.items()
+        }
+        codec_seconds = time.perf_counter() - codec_start
+        entries.append(
+            {
+                "name": name,
+                "summaries": summaries,
+                "inputs": encoded_inputs,
+                "stats": stats.to_json(),
+                "cache_hits": hits,
+                "cache_misses": len(sccs) - hits,
+                "codec_seconds": codec_seconds,
+                "seconds": time.perf_counter() - start,
+            }
+        )
+    reply = {
+        "pid": os.getpid(),
+        "kind": "programs",
+        "strings": table.to_list(),
+        "programs": entries,
+    }
     return json.dumps(reply, sort_keys=True, separators=(",", ":"))
 
 
@@ -576,6 +884,9 @@ class ProcessWaveRunner:
         self.worker_failed = 0
         self.requeued_sccs: List[str] = []
         self.disk_reused = 0
+        #: wall seconds spent in the task/result codec: parent-side encode and
+        #: decode plus the worker-reported chunk decode time.
+        self.codec_seconds = 0.0
 
     def _decode_entry(self, entry: Mapping[str, object]):
         summary = deserialize_summary(entry["summary"], self.lattice)
@@ -615,12 +926,14 @@ class ProcessWaveRunner:
         # The active span here is the scheduler's wave span; ship its context
         # so worker-side solve spans stitch in underneath it.
         trace_ctx = tracer.current_context() if tracer.enabled else None
+        encode_start = time.perf_counter()
         payloads = [
             encode_task(
                 chunk, self.inputs, self.working, self.keys, callee_cache, trace=trace_ctx
             )
             for chunk in chunks
         ]
+        self.codec_seconds += time.perf_counter() - encode_start
         replies = self.pool.submit_chunks(payloads)
         registry = get_registry()
 
@@ -632,6 +945,7 @@ class ProcessWaveRunner:
                 continue
             if reply.get("spans"):
                 tracer.adopt(reply["spans"])
+            self.codec_seconds += float(reply.get("codec_seconds", 0.0))
             busy = sum(
                 float(entry.get("seconds", 0.0)) for entry in reply.get("results", ())
             )
@@ -644,11 +958,14 @@ class ProcessWaveRunner:
                 if entry is None:
                     requeue.append(scc)
                     continue
+                decode_start = time.perf_counter()
                 try:
                     triple = self._decode_entry(entry)
                 except Exception:
                     requeue.append(scc)
                     continue
+                finally:
+                    self.codec_seconds += time.perf_counter() - decode_start
                 stats = triple[2]
                 self.worker_stats.setdefault(pid, SolveStats()).merge(stats)
                 self.pool.record_worker_stats(pid, stats)

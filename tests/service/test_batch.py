@@ -89,3 +89,58 @@ def test_corpus_on_the_process_backend_matches_serial():
         )
     # Shared-library reuse still happens under the process backend.
     assert parallel.total_cache_hits > 0
+
+
+def test_corpus_fanout_prewarms_every_program_and_stays_byte_identical():
+    """Program-grain fan-out: workers solve whole programs and ship summaries
+    plus typing inputs back; the parent replay must be byte-identical to the
+    serial corpus run."""
+    from repro.gen import result_fingerprint
+    from repro.service import ServiceConfig
+    from repro.service import batch as batch_mod
+
+    workloads = _cluster()
+    programs = {w.name: w.program for w in workloads}
+    serial = analyze_corpus(programs)
+
+    service = AnalysisService(ServiceConfig(executor="processes", max_workers=2))
+    try:
+        items = list(programs.items())
+        assert batch_mod._use_corpus_fanout(service, items)
+        prewarmed = batch_mod._prewarm_corpus(service, items)
+        assert set(prewarmed) == set(programs)
+        for workload in workloads:
+            entry = prewarmed[workload.name]
+            assert set(entry.inputs) == set(workload.program.procedures)
+            assert entry.cache_hits + entry.cache_misses > 0
+        report = analyze_corpus(programs, service=service)
+    finally:
+        service.close()
+    for name in programs:
+        assert result_fingerprint(report[name].types) == result_fingerprint(
+            serial[name].types
+        )
+
+
+def test_corpus_fanout_falls_back_to_in_process_analysis(monkeypatch):
+    """When fan-out brings back nothing usable (crashed workers, undecodable
+    replies), every program silently takes the in-process path and the corpus
+    result is still correct."""
+    from repro.gen import result_fingerprint
+    from repro.service import ServiceConfig, procpool
+
+    workloads = _cluster()
+    programs = {w.name: w.program for w in workloads}
+    serial = analyze_corpus(programs)
+
+    # An empty task: workers reply with zero program entries, so no program
+    # gets prewarmed and analyze_corpus must fall back per program.
+    real_encode = procpool.encode_corpus_task
+    monkeypatch.setattr(procpool, "encode_corpus_task", lambda items: real_encode([]))
+    report = analyze_corpus(
+        programs, config=ServiceConfig(executor="processes", max_workers=2)
+    )
+    for name in programs:
+        assert result_fingerprint(report[name].types) == result_fingerprint(
+            serial[name].types
+        )

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro import analyze_program
 from repro.core.constraints import ConstraintSet, parse_constraints
+from repro.core.intern import StringTable
 from repro.core.lattice import TypeLattice, default_lattice
 from repro.core.solver import (
     ProcedureTypingInput,
@@ -189,12 +190,18 @@ def _typing_input(draw):
 @settings(max_examples=50, deadline=None)
 @given(_typing_input())
 def test_input_codec_round_trip_is_byte_identical(proc):
-    encoded = json.dumps(procpool.encode_input(proc), sort_keys=True)
-    decoded = procpool.decode_input("f", json.loads(encoded))
+    table = StringTable()
+    entry = procpool.encode_input(proc, table.intern)
+    encoded = json.dumps({"e": entry, "t": table.to_list()}, sort_keys=True)
+    wire = json.loads(encoded)
+    reader = procpool._TableReader(wire["t"])
+    decoded = procpool.decode_input("f", wire["e"], reader)
     assert decoded.constraints == proc.constraints
     assert decoded.formal_ins == proc.formal_ins
     assert decoded.formal_outs == proc.formal_outs
-    re_encoded = json.dumps(procpool.encode_input(decoded), sort_keys=True)
+    re_table = StringTable()
+    re_entry = procpool.encode_input(decoded, re_table.intern)
+    re_encoded = json.dumps({"e": re_entry, "t": re_table.to_list()}, sort_keys=True)
     assert re_encoded == encoded
 
 
