@@ -113,7 +113,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
-    from .gen import generate_corpus, named_profiles, run_oracle, write_corpus
+    from .gen import (
+        generate_corpus,
+        generate_family,
+        named_profiles,
+        run_oracle,
+        write_corpus,
+    )
 
     profiles = named_profiles()
     profile = profiles[args.profile]
@@ -122,13 +128,35 @@ def cmd_gen(args: argparse.Namespace) -> int:
     status = 0
     corpus = None
     if args.out:
-        corpus = generate_corpus(args.count, args.seed, profile)
-        manifest = write_corpus(corpus, args.out)
+        if args.families > 0:
+            # Family mode writes every member (variants included), so the
+            # emitted corpus is the exact program set a family sweep checks.
+            corpus = [
+                member.program
+                for index in range(args.families)
+                for member in generate_family(
+                    args.seed + index,
+                    profile,
+                    members=args.members,
+                    name=f"fam{args.seed}_{index}",
+                ).members
+            ]
+        else:
+            corpus = generate_corpus(args.count, args.seed, profile)
+        manifest = write_corpus(
+            corpus,
+            args.out,
+            seed=args.seed,
+            profile_name=args.profile,
+            members=args.members if args.families > 0 else 0,
+        )
         total = sum(len(program.functions) for program in corpus)
         print(
             f"wrote {len(corpus)} programs ({total} functions) to {args.out} "
             f"(manifest: {manifest})"
         )
+        if args.families > 0:
+            corpus = None  # family members are not the independent-mode corpus
     if args.oracle:
         def progress(done: int, total: int) -> None:
             if done % 50 == 0 or done == total:
@@ -144,6 +172,9 @@ def cmd_gen(args: argparse.Namespace) -> int:
             min_conservativeness=args.min_conservativeness,
             progress=progress if not args.quiet else None,
             corpus=corpus,
+            families=args.families,
+            family_members=args.members,
+            minimize_dir=args.minimize_out if args.minimize else None,
         )
         print(report.summary())
         status = 0 if report.ok else 1
@@ -239,6 +270,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.85,
         help="per-program conservativeness floor for the oracle",
+    )
+    gen.add_argument(
+        "--families",
+        type=int,
+        default=0,
+        help="additionally sweep this many toggle-derived variant families "
+        "(store reuse + incremental-session equivalence checks; see "
+        "repro.gen.family)",
+    )
+    gen.add_argument(
+        "--members",
+        type=int,
+        default=4,
+        help="members per family, base included (with --families)",
+    )
+    gen.add_argument(
+        "--minimize",
+        action="store_true",
+        help="ddmin any oracle failure and emit a pytest reproducer "
+        "(see repro.gen.minimize)",
+    )
+    gen.add_argument(
+        "--minimize-out",
+        default="tests/regress",
+        metavar="DIR",
+        help="directory for emitted reproducers (default: tests/regress)",
     )
     gen.add_argument("--quiet", action="store_true", help="suppress progress output")
     gen.set_defaults(func=cmd_gen)

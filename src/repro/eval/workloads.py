@@ -561,3 +561,41 @@ def generated_suite(
             )
         )
     return workloads
+
+
+def family_suite(
+    families: int = 4,
+    seed: int = 20160616,
+    profile: Optional[object] = None,
+    members: int = 4,
+    cluster: str = "family",
+) -> List[Workload]:
+    """The ``family`` workload: toggle-derived program *families*.
+
+    Each family is one :func:`repro.gen.family.generate_family` product line
+    -- a base program plus variants differing by declared feature toggles --
+    flattened member-by-member.  Members of one family share most procedures
+    byte-for-byte, so this is the canonical workload for summary-store reuse
+    and incremental-session studies; every member still carries its own
+    re-derived answer key, so metrics and figures run over it unchanged.
+    Workloads are clustered per family (``family:<name>``), mirroring how
+    Figure 10 clusters binaries built from one code base.
+    """
+    from ..gen import GenProfile
+    from ..gen.family import generate_families
+
+    resolved = profile if profile is not None else GenProfile.default()
+    workloads = []
+    for family in generate_families(
+        families, seed, resolved, members=members, name_prefix=f"{cluster}_"
+    ):
+        for member in family.members:
+            workloads.append(
+                Workload(
+                    name=member.name,
+                    cluster=f"{cluster}:{family.name}",
+                    source=member.source,
+                    compilation=member.program.compile(),
+                )
+            )
+    return workloads

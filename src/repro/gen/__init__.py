@@ -32,13 +32,30 @@ import os
 from typing import List, Optional
 
 from ..core.ctype import ctype_to_json
+from .family import (
+    FamilyMember,
+    FamilyToggle,
+    GeneratedFamily,
+    apply_toggles,
+    enumerate_toggles,
+    generate_families,
+    generate_family,
+)
 from .generator import (
     EDIT_STATEMENT,
+    GENERATOR_VERSION,
     GeneratedEdit,
     GeneratedProgram,
     generate_corpus,
     generate_edit,
     generate_program,
+)
+from .minimize import (
+    ORACLE_PREDICATES,
+    MinimizationResult,
+    check_predicate,
+    emit_regression_test,
+    minimize_program,
 )
 from .oracle import (
     ALL_BACKENDS,
@@ -83,15 +100,48 @@ def answer_key_json(program: GeneratedProgram) -> dict:
     }
 
 
-def write_corpus(programs: List[GeneratedProgram], out_dir: str) -> str:
+def family_answer_key_json(family: GeneratedFamily) -> dict:
+    """A whole family's answer key: every member's declared types plus the
+    exact toggles that derived it from the base (member 0)."""
+    return {
+        "name": family.name,
+        "seed": family.seed,
+        "generator_version": GENERATOR_VERSION,
+        "members": [
+            dict(
+                answer_key_json(member.program),
+                index=member.index,
+                toggles=[toggle.describe() for toggle in member.toggles],
+            )
+            for member in family.members
+        ],
+    }
+
+
+def write_corpus(
+    programs: List[GeneratedProgram],
+    out_dir: str,
+    seed: Optional[int] = None,
+    profile_name: Optional[str] = None,
+    members: int = 0,
+) -> str:
     """Emit a generated corpus to disk: per-program ``.c`` source and
     ``.truth.json`` answer key, plus a ``manifest.json`` naming them all.
 
-    Returns the manifest path.  Everything is reproducible from the manifest's
-    recorded seeds.
+    Returns the manifest path.  The manifest alone reproduces the corpus: it
+    records the sweep seed, the profile preset name, the family member count
+    (0 for an independent corpus) and the generator version alongside each
+    program's own seed.
     """
     os.makedirs(out_dir, exist_ok=True)
-    manifest = {"programs": []}
+    manifest = {
+        "generator_version": GENERATOR_VERSION,
+        "profile": profile_name,
+        "seed": seed,
+        "count": len(programs),
+        "members": members,
+        "programs": [],
+    }
     for program in programs:
         source_name = f"{program.name}.c"
         truth_name = f"{program.name}.truth.json"
@@ -119,16 +169,30 @@ def write_corpus(programs: List[GeneratedProgram], out_dir: str) -> str:
 __all__ = [
     "ALL_BACKENDS",
     "EDIT_STATEMENT",
+    "GENERATOR_VERSION",
+    "FamilyMember",
+    "FamilyToggle",
     "GenProfile",
     "GeneratedEdit",
+    "GeneratedFamily",
     "GeneratedProgram",
+    "MinimizationResult",
+    "ORACLE_PREDICATES",
     "OracleMismatch",
     "OracleReport",
     "answer_key_json",
+    "apply_toggles",
+    "check_predicate",
+    "emit_regression_test",
+    "enumerate_toggles",
+    "family_answer_key_json",
     "generate_corpus",
     "generate_edit",
+    "generate_families",
+    "generate_family",
     "generate_program",
     "load_naive_reference",
+    "minimize_program",
     "named_profiles",
     "result_fingerprint",
     "run_oracle",

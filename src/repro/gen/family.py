@@ -1,0 +1,327 @@
+"""Variant *families*: N programs derived from one base by feature toggles.
+
+Real corpora are not independent programs -- they are product lines: many
+binaries sharing most of their code, differing in a handful of configuration
+choices (in the spirit of "A Core Calculus for Type-safe Product Lines of C
+Programs").  :func:`generate_family` manufactures exactly that workload: one
+:func:`~repro.gen.generate_program` base plus ``members - 1`` variants, each
+obtained by applying a small, *declared* set of deterministic feature-toggle
+edits:
+
+* ``add-field`` -- append a fresh ``int`` field to a struct (layout grows,
+  every ``sizeof``-taking constructor changes);
+* ``remove-field`` -- drop a field no function ever accesses (subsequent
+  field offsets shift);
+* ``swap-handler`` -- re-target a handler registration: rotate the slot a
+  dispatch table's ``select`` returns, or move a ``signal`` registration to a
+  different signal number;
+* ``inline-helper`` -- inline a call-chain helper into its caller (a call
+  edge disappears; the callee may go dead).
+
+Every member re-derives its own ground-truth answer key through the real
+parse + typecheck path, so the family carries a per-member answer key; the
+member list (with the exact toggles applied) is the family's feature model.
+
+Determinism is the same hard contract as the base generator: toggles are
+enumerated in source order, chosen through a private ``random.Random``, and
+``generate_family(seed, profile, members)`` is byte-identical across
+processes and ``PYTHONHASHSEED`` values.  Variant members share most SCCs
+with the base byte-for-byte, which is what makes families the canonical
+workload for cross-member summary-store reuse and incremental sessions
+(:func:`repro.gen.oracle.run_oracle` with ``members > 0`` asserts both).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..frontend import GroundTruth, extract_ground_truth, parse_c, typecheck
+from .generator import GeneratedProgram, _render, generate_program
+from .profile import GenProfile
+
+
+class ToggleError(ValueError):
+    """A toggle does not apply to this program (pattern not found)."""
+
+
+@dataclass(frozen=True)
+class FamilyToggle:
+    """One deterministic feature-toggle edit.
+
+    ``kind`` is one of ``add-field`` / ``remove-field`` / ``swap-handler`` /
+    ``inline-helper``; ``target`` names the struct or function edited;
+    ``detail`` carries the toggle-specific payload (field name, replacement
+    signal number, inlined callee).
+    """
+
+    kind: str
+    target: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.kind}:{self.target}"
+        return f"{text}:{self.detail}" if self.detail else text
+
+
+@dataclass
+class FamilyMember:
+    """One member of a generated family: the base plus declared toggles."""
+
+    name: str
+    index: int
+    toggles: Tuple[FamilyToggle, ...]
+    program: GeneratedProgram
+
+    @property
+    def source(self) -> str:
+        return self.program.source
+
+    @property
+    def ground_truth(self) -> GroundTruth:
+        return self.program.ground_truth
+
+
+@dataclass
+class GeneratedFamily:
+    """A base program plus its toggle-derived variants (member 0 is the base)."""
+
+    name: str
+    seed: int
+    profile: GenProfile
+    members: List[FamilyMember]
+
+    @property
+    def base(self) -> GeneratedProgram:
+        return self.members[0].program
+
+    def answer_key(self) -> Dict[str, GroundTruth]:
+        """The per-family answer key: member name -> declared-type tables."""
+        return {member.name: member.program.ground_truth for member in self.members}
+
+
+# ---------------------------------------------------------------------------
+# Toggle enumeration
+# ---------------------------------------------------------------------------
+
+_STRUCT_NAME = re.compile(r"^struct (\w+) \{")
+_FIELD_LINE = re.compile(r"^    [\w* ]*?(\w+);$")
+_SIGNAL_CALL = re.compile(r"signal\((\d+), ")
+_CHAIN_NAME = re.compile(r"(\w+_chain)(\d+)$")
+
+
+def _struct_fields(struct_block: str) -> List[str]:
+    return [
+        match.group(1)
+        for line in struct_block.splitlines()
+        for match in [_FIELD_LINE.match(line)]
+        if match
+    ]
+
+
+def enumerate_toggles(program: GeneratedProgram) -> List[FamilyToggle]:
+    """Every toggle applicable to ``program``, in deterministic source order."""
+    toggles: List[FamilyToggle] = []
+    function_text = "\n".join(text for _, text in program._blocks)
+    for struct_block in program._struct_blocks:
+        match = _STRUCT_NAME.match(struct_block)
+        if not match:  # pragma: no cover - render format guarantees a match
+            continue
+        struct = match.group(1)
+        toggles.append(FamilyToggle("add-field", struct, "fam_extra"))
+        fields = _struct_fields(struct_block)
+        if len(fields) > 1:
+            for field in fields:
+                if not re.search(rf"(->|\.)\s*{re.escape(field)}\b", function_text):
+                    toggles.append(FamilyToggle("remove-field", struct, field))
+    block_names = {name for name, _ in program._blocks}
+    for name, text in program._blocks:
+        signal_match = _SIGNAL_CALL.search(text)
+        if signal_match:
+            signum = int(signal_match.group(1))
+            toggles.append(FamilyToggle("swap-handler", name, str(signum % 15 + 1)))
+        if name.startswith("select_") and "return table->on_read;" in text:
+            toggles.append(FamilyToggle("swap-handler", name, "rotate"))
+        chain = _CHAIN_NAME.search(name)
+        if chain and int(chain.group(2)) > 0:
+            helper = f"{chain.group(1)}{int(chain.group(2)) - 1}"
+            if helper in block_names and f"{helper}(" in text:
+                toggles.append(FamilyToggle("inline-helper", name, helper))
+    return toggles
+
+
+# ---------------------------------------------------------------------------
+# Toggle application
+# ---------------------------------------------------------------------------
+
+
+def _apply_to_struct(struct_blocks: List[str], toggle: FamilyToggle) -> List[str]:
+    edited = list(struct_blocks)
+    for i, block in enumerate(edited):
+        match = _STRUCT_NAME.match(block)
+        if not match or match.group(1) != toggle.target:
+            continue
+        if toggle.kind == "add-field":
+            if f" {toggle.detail};" in block:
+                raise ToggleError(f"{toggle.target} already has {toggle.detail}")
+            edited[i] = block.replace("\n};", f"\n    int {toggle.detail};\n}};")
+        else:  # remove-field
+            lines = block.splitlines()
+            kept = [
+                line
+                for line in lines
+                if not (
+                    (field := _FIELD_LINE.match(line)) and field.group(1) == toggle.detail
+                )
+            ]
+            if len(kept) == len(lines):
+                raise ToggleError(f"{toggle.target} has no field {toggle.detail}")
+            edited[i] = "\n".join(kept)
+        return edited
+    raise ToggleError(f"no struct {toggle.target}")
+
+
+_ROTATION = [("on_read", "on_write"), ("on_write", "on_fail"), ("on_fail", "on_read")]
+
+
+def _apply_to_function(blocks: List[Tuple[str, str]], toggle: FamilyToggle) -> List[Tuple[str, str]]:
+    edited = list(blocks)
+    texts = dict(blocks)
+    for i, (name, text) in enumerate(edited):
+        if name != toggle.target:
+            continue
+        if toggle.kind == "swap-handler" and toggle.detail == "rotate":
+            for slot, _ in _ROTATION:
+                text = text.replace(f"return table->{slot};", f"return table->@{slot};")
+            for slot, replacement in _ROTATION:
+                text = text.replace(f"return table->@{slot};", f"return table->{replacement};")
+        elif toggle.kind == "swap-handler":
+            match = _SIGNAL_CALL.search(text)
+            if not match:
+                raise ToggleError(f"{name} has no signal registration")
+            text = text.replace(match.group(0), f"signal({toggle.detail}, ")
+        else:  # inline-helper
+            helper_text = texts.get(toggle.detail)
+            if helper_text is None:
+                raise ToggleError(f"no helper {toggle.detail}")
+            helper_expr = helper_text[
+                helper_text.index("return ") + len("return ") : helper_text.rindex(";")
+            ]
+            call = re.search(rf"{re.escape(toggle.detail)}\((.*)\)", text)
+            if not call:
+                raise ToggleError(f"{name} does not call {toggle.detail}")
+            inlined = re.sub(r"\bx\b", f"({call.group(1)})", helper_expr)
+            text = text[: call.start()] + f"({inlined})" + text[call.end() :]
+        if text == texts[toggle.target]:
+            raise ToggleError(f"{toggle.describe()} is a no-op")
+        edited[i] = (name, text)
+        return edited
+    raise ToggleError(f"no function {toggle.target}")
+
+
+def apply_toggles(
+    program: GeneratedProgram, toggles: Sequence[FamilyToggle], name: Optional[str] = None
+) -> GeneratedProgram:
+    """Apply ``toggles`` to ``program``, re-deriving the answer key.
+
+    Raises :class:`ToggleError` if any toggle does not apply, and propagates
+    frontend errors if the edited unit no longer typechecks -- callers that
+    enumerate candidate toggles (``generate_family``) catch both and move on
+    to the next candidate.
+    """
+    struct_blocks = list(program._struct_blocks)
+    blocks = list(program._blocks)
+    for toggle in toggles:
+        if toggle.kind in ("add-field", "remove-field"):
+            struct_blocks = _apply_to_struct(struct_blocks, toggle)
+        else:
+            blocks = _apply_to_function(blocks, toggle)
+    source = _render(struct_blocks, blocks, program._global_decls)
+    checked = typecheck(parse_c(source))
+    return GeneratedProgram(
+        name=name or program.name,
+        seed=program.seed,
+        profile=program.profile,
+        source=source,
+        functions=[fname for fname, _ in blocks],
+        dead_functions=list(program.dead_functions),
+        ground_truth=extract_ground_truth(checked),
+        _blocks=blocks,
+        _struct_blocks=struct_blocks,
+        _global_decls=list(program._global_decls),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Family generation
+# ---------------------------------------------------------------------------
+
+#: per-member attempts at drawing a valid toggle set before giving up.
+_MAX_DRAWS = 24
+
+
+def generate_family(
+    seed: int,
+    profile: Optional[GenProfile] = None,
+    members: int = 4,
+    name: Optional[str] = None,
+) -> GeneratedFamily:
+    """Deterministically derive a ``members``-strong family from one base.
+
+    Member 0 is the base program; members 1..N-1 each apply one or two
+    toggles drawn from :func:`enumerate_toggles`.  Every member re-derives
+    its ground truth through parse + typecheck, so ``family.answer_key()``
+    is authoritative for all of them.
+    """
+    if members < 1:
+        raise ValueError("a family needs at least one member")
+    profile = profile or GenProfile.default()
+    name = name or f"fam{seed}"
+    base = generate_program(seed, profile, name=name)
+    pool = enumerate_toggles(base)
+    rng = random.Random(seed * 1_000_003 + members)
+    family_members = [FamilyMember(name=base.name, index=0, toggles=(), program=base)]
+    for index in range(1, members):
+        member: Optional[GeneratedProgram] = None
+        chosen: Tuple[FamilyToggle, ...] = ()
+        for _ in range(_MAX_DRAWS):
+            count = 1 + rng.randrange(min(2, len(pool)))
+            candidate = tuple(rng.sample(pool, count))
+            try:
+                variant = apply_toggles(base, candidate, name=f"{name}_v{index}")
+            except (ToggleError, SyntaxError, TypeError):
+                continue
+            if variant.source != base.source:
+                member, chosen = variant, candidate
+                break
+        if member is None:
+            raise RuntimeError(
+                f"could not derive family member {index} from seed {seed} "
+                f"({len(pool)} candidate toggles)"
+            )
+        family_members.append(
+            FamilyMember(name=member.name, index=index, toggles=chosen, program=member)
+        )
+    return GeneratedFamily(name=name, seed=seed, profile=profile, members=family_members)
+
+
+def generate_families(
+    count: int,
+    seed: int,
+    profile: Optional[GenProfile] = None,
+    members: int = 4,
+    name_prefix: str = "fam",
+) -> List[GeneratedFamily]:
+    """``count`` independent families; family seeds are pure arithmetic on
+    ``seed`` so any family regenerates without the rest."""
+    return [
+        generate_family(
+            seed * 1_000_003 + index,
+            profile,
+            members=members,
+            name=f"{name_prefix}{seed}_{index}",
+        )
+        for index in range(count)
+    ]

@@ -41,6 +41,11 @@ from ..frontend import (
 )
 from .profile import GenProfile
 
+#: bumped whenever the generator's emission changes for an existing
+#: ``(seed, profile)`` pair; recorded in corpus manifests so an emitted
+#: corpus is reproducible from the manifest alone.
+GENERATOR_VERSION = "2"
+
 
 @dataclass
 class GeneratedProgram:
@@ -57,9 +62,10 @@ class GeneratedProgram:
     #: declared types of every procedure (the evaluation's answer key).
     ground_truth: GroundTruth
     #: (function name, block text) pairs -- the edit surface for
-    #: :func:`generate_edit`.
+    #: :func:`generate_edit` and the family toggles.
     _blocks: List[Tuple[str, str]] = dc_field(default_factory=list, repr=False)
     _struct_blocks: List[str] = dc_field(default_factory=list, repr=False)
+    _global_decls: List[str] = dc_field(default_factory=list, repr=False)
     _compiled: Optional[CompilationResult] = dc_field(default=None, repr=False)
 
     def compile(self) -> CompilationResult:
@@ -86,6 +92,7 @@ class _Builder:
         self.profile = profile
         self.prefix = prefix
         self.struct_blocks: List[str] = []
+        self.global_decls: List[str] = []
         self.blocks: List[Tuple[str, str]] = []
         #: name -> (param spec strings, returns a value)
         self.sigs: Dict[str, Tuple[List[str], bool]] = {}
@@ -441,6 +448,172 @@ class _Builder:
             f"}}",
         )
 
+    # -- union-style overlapping views ---------------------------------------------
+
+    def add_union_views(self, index: int) -> None:
+        """Two struct views sharing an ``int tag`` prefix, read through casts.
+
+        The discriminated-union-with-common-header idiom: code receives one
+        view, casts to the other, and touches the overlapping offset-0 field.
+        At the machine level both views address the same cell, so the
+        analysis sees overlapping field accesses through distinct source
+        types.
+        """
+        view_a = f"{self.prefix}_u{index}a"
+        view_b = f"{self.prefix}_u{index}b"
+        tail = (
+            f"struct {self.rng.choice(self.structs)} * ref0;"
+            if self.structs and self.rng.random() < 0.5
+            else "int alt0;"
+        )
+        self.struct_blocks.append(
+            f"struct {view_a} {{\n    int tag;\n    int payload;\n}};"
+        )
+        self.struct_blocks.append(f"struct {view_b} {{\n    int tag;\n    {tail}\n}};")
+        self.plain_structs.append(view_a)
+        self.int_fields[view_a] = ["tag", "payload"]
+        self.plain_structs.append(view_b)
+        self.int_fields[view_b] = ["tag"] + (["alt0"] if tail == "int alt0;" else [])
+        kind = f"{self.prefix}_u{index}_kind"
+        self._add(
+            kind,
+            [f"struct {view_a} *"],
+            True,
+            f"int {kind}(struct {view_a} * box) {{\n"
+            f"    struct {view_b} * view;\n"
+            f"    view = (struct {view_b} *) box;\n"
+            f"    return box->tag + view->tag;\n"
+            f"}}",
+        )
+        retag = f"{self.prefix}_u{index}_retag"
+        self._add(
+            retag,
+            [f"struct {view_b} *", "int"],
+            False,
+            f"void {retag}(struct {view_b} * view, int tag) {{\n"
+            f"    struct {view_a} * box;\n"
+            f"    box = (struct {view_a} *) view;\n"
+            f"    box->tag = tag;\n"
+            f"    view->tag = box->tag + 1;\n"
+            f"}}",
+        )
+
+    # -- global variables ----------------------------------------------------------
+
+    def add_global(self, index: int) -> None:
+        """One global scalar plus an accessor that reads and writes it."""
+        name = f"{self.prefix}_g{index}"
+        unsigned = self.rng.random() < 0.3
+        ctype = "unsigned" if unsigned else "int"
+        self.global_decls.append(f"{ctype} {name};")
+        accessor = f"{self.prefix}_bump{index}"
+        self._add(
+            accessor,
+            ["int"],
+            True,
+            f"{ctype} {accessor}(int delta) {{\n"
+            f"    {name} = {name} + delta;\n"
+            f"    return {name};\n"
+            f"}}",
+        )
+
+    # -- varargs-style idiom -------------------------------------------------------
+
+    def add_varargs_pack(self, index: int) -> None:
+        """A ``(count, slots)`` argument-pack walker plus a variadic forward.
+
+        ``printf`` is the one modelled variadic extern; the forwarder passes
+        more actuals than the extern declares, which is exactly how varargs
+        calls look in the type-erased machine code.
+        """
+        walker = f"{self.prefix}_vsum{index}"
+        self._add(
+            walker,
+            ["int", "int *"],
+            True,
+            f"int {walker}(int count, int * slots) {{\n"
+            f"    int total;\n"
+            f"    int i;\n"
+            f"    total = 0;\n"
+            f"    i = 0;\n"
+            f"    while (i < count) {{\n"
+            f"        total = total + slots[i];\n"
+            f"        i = i + 1;\n"
+            f"    }}\n"
+            f"    return total;\n"
+            f"}}",
+        )
+        logger = f"{self.prefix}_logv{index}"
+        self._add(
+            logger,
+            ["const char *", "int", "int"],
+            True,
+            f"int {logger}(const char * fmt, int a, int b) {{\n"
+            f"    return printf(fmt, a, b) + {walker}(a, &b);\n"
+            f"}}",
+        )
+
+    # -- indirect-call dispatch table ----------------------------------------------
+
+    def add_dispatch_table(self, index: int) -> None:
+        """A struct of ``void *`` handler slots with init/select/fire helpers.
+
+        ``fire`` registers the selected slot through the modelled ``signal``
+        extern, so code pointers of unknown interface flow into and back out
+        of a data structure -- the dispatch-table idiom the paper's corpus is
+        full of.
+        """
+        table = f"{self.prefix}_ops{index}"
+        self.struct_blocks.append(
+            f"struct {table} {{\n"
+            f"    void * on_read;\n"
+            f"    void * on_write;\n"
+            f"    void * on_fail;\n"
+            f"    int uses;\n"
+            f"}};"
+        )
+        self.plain_structs.append(table)
+        self.int_fields[table] = ["uses"]
+        init = f"init_{table}"
+        self._add(
+            init,
+            [f"struct {table} *", "void *", "void *", "void *"],
+            False,
+            f"void {init}(struct {table} * table, void * rd, void * wr, void * fl) {{\n"
+            f"    table->on_read = rd;\n"
+            f"    table->on_write = wr;\n"
+            f"    table->on_fail = fl;\n"
+            f"    table->uses = 0;\n"
+            f"}}",
+        )
+        select = f"select_{table}"
+        self._add(
+            select,
+            [f"struct {table} *", "int"],
+            True,
+            f"void * {select}(struct {table} * table, int which) {{\n"
+            f"    if (which == 0) {{\n"
+            f"        return table->on_read;\n"
+            f"    }}\n"
+            f"    if (which == 1) {{\n"
+            f"        return table->on_write;\n"
+            f"    }}\n"
+            f"    return table->on_fail;\n"
+            f"}}",
+        )
+        fire = f"fire_{table}"
+        signum = self.rng.randint(1, 15)
+        self._add(
+            fire,
+            [f"struct {table} *", "int"],
+            False,
+            f"void {fire}(struct {table} * table, int which) {{\n"
+            f"    table->uses = table->uses + 1;\n"
+            f"    signal({signum}, {select}(table, which));\n"
+            f"}}",
+        )
+        self.add_constructor(table)
+
     # -- call-graph shaping --------------------------------------------------------
 
     def add_call_chain(self) -> List[str]:
@@ -620,6 +793,14 @@ class _Builder:
         for struct in self.handler_structs:
             self.add_handler_setter(struct)
         self.add_fd_helper()
+        if rng.random() < profile.union_weight:
+            self.add_union_views(0)
+        for i in range(max(0, profile.n_globals)):
+            self.add_global(i)
+        if rng.random() < profile.varargs_weight:
+            self.add_varargs_pack(0)
+        if rng.random() < profile.dispatch_weight:
+            self.add_dispatch_table(0)
 
         attempts = 0
         while len(self.sigs) < profile.n_functions and attempts < profile.n_functions * 12:
@@ -640,8 +821,15 @@ class _Builder:
         return self.struct_blocks, self.blocks, self.dead
 
 
-def _render(struct_blocks: List[str], blocks: List[Tuple[str, str]]) -> str:
-    return "\n\n".join(struct_blocks + [text for _, text in blocks]) + "\n"
+def _render(
+    struct_blocks: List[str],
+    blocks: List[Tuple[str, str]],
+    global_decls: Optional[List[str]] = None,
+) -> str:
+    globals_part = ["\n".join(global_decls)] if global_decls else []
+    return (
+        "\n\n".join(struct_blocks + globals_part + [text for _, text in blocks]) + "\n"
+    )
 
 
 def generate_program(
@@ -653,7 +841,7 @@ def generate_program(
     prefix = name.replace("-", "_")
     builder = _Builder(seed, profile, prefix)
     struct_blocks, blocks, dead = builder.build()
-    source = _render(struct_blocks, blocks)
+    source = _render(struct_blocks, blocks, builder.global_decls)
     checked = typecheck(parse_c(source))
     truth = extract_ground_truth(checked)
     return GeneratedProgram(
@@ -666,6 +854,7 @@ def generate_program(
         ground_truth=truth,
         _blocks=blocks,
         _struct_blocks=struct_blocks,
+        _global_decls=list(builder.global_decls),
     )
 
 
@@ -708,4 +897,7 @@ def generate_edit(program: GeneratedProgram, edit_seed: int = 0) -> GeneratedEdi
     edited_text = text[: newline + 1] + EDIT_STATEMENT + "\n" + text[newline + 1 :]
     blocks = list(program._blocks)
     blocks[index] = (fname, edited_text)
-    return GeneratedEdit(source=_render(program._struct_blocks, blocks), function=fname)
+    return GeneratedEdit(
+        source=_render(program._struct_blocks, blocks, program._global_decls),
+        function=fname,
+    )

@@ -40,7 +40,9 @@ from ..core import proves, simplify_constraints
 from ..eval.metrics import evaluate_program
 from ..service import AnalysisService, IncrementalSession, ServiceConfig
 from ..typegen.abstract_interp import generate_program_constraints
+from .family import GeneratedFamily, generate_family
 from .generator import GeneratedProgram, generate_corpus, generate_edit
+from .minimize import conservativeness_failure
 from .profile import GenProfile
 
 #: every executor strategy the service accepts, in check order.
@@ -115,10 +117,16 @@ class OracleReport:
     programs: int = 0
     derives_samples: int = 1
     min_conservativeness: float = 0.85
+    #: variant families swept (0 = independent-program mode only).
+    families: int = 0
+    #: members per family, base included.
+    family_members: int = 0
     #: check name -> number of times it ran (one count per program+backend).
     checks: Dict[str, int] = dc_field(default_factory=dict)
     mismatches: List[OracleMismatch] = dc_field(default_factory=list)
     skipped: List[str] = dc_field(default_factory=list)
+    #: pytest reproducer files the minimizer emitted for this sweep's failures.
+    reproducers: List[str] = dc_field(default_factory=list)
     elapsed_seconds: float = 0.0
 
     @property
@@ -129,12 +137,17 @@ class OracleReport:
         self.checks[check] = self.checks.get(check, 0) + 1
 
     def summary(self) -> str:
+        scope = f"{self.programs} programs"
+        family_flags = ""
+        if self.families:
+            scope += f" + {self.families} families x {self.family_members} members"
+            family_flags = f"--families {self.families} --members {self.family_members} "
         lines = [
-            f"oracle sweep: {self.programs} programs, seed {self.seed}, "
+            f"oracle sweep: {scope}, seed {self.seed}, "
             f"profile {self.profile_name!r}, backends {'/'.join(self.backends)}",
             f"  reproduce: python -m repro gen --oracle --count {self.programs} "
             f"--seed {self.seed} --profile {self.profile_name} "
-            f"--backends {','.join(self.backends)} "
+            f"--backends {','.join(self.backends)} {family_flags}"
             f"--derives-samples {self.derives_samples} "
             f"--min-conservativeness {self.min_conservativeness}",
         ]
@@ -142,6 +155,8 @@ class OracleReport:
             lines.append(f"  {check:<24} {self.checks[check]:>6} checks")
         for note in self.skipped:
             lines.append(f"  skipped: {note}")
+        for path in self.reproducers:
+            lines.append(f"  reproducer: {path}")
         if self.mismatches:
             lines.append(f"  MISMATCHES: {len(self.mismatches)}")
             for mismatch in self.mismatches[:20]:
@@ -166,6 +181,9 @@ def run_oracle(
     min_conservativeness: float = 0.85,
     progress: Optional[Callable[[int, int], None]] = None,
     corpus: Optional[List[GeneratedProgram]] = None,
+    families: int = 0,
+    family_members: int = 4,
+    minimize_dir: Optional[str] = None,
 ) -> OracleReport:
     """Run the differential oracle over ``count`` generated programs.
 
@@ -173,6 +191,18 @@ def run_oracle(
     combined ``--out --oracle`` mode) reuse it instead of regenerating; it
     must be the ``generate_corpus(count, seed, profile)`` corpus for the
     other arguments, which stay authoritative for the reproduce line.
+
+    ``families > 0`` additionally sweeps that many toggle-derived variant
+    families of ``family_members`` members each (:mod:`repro.gen.family`):
+    per member, backend identity and conservativeness against the member's
+    own answer key; per family, *cross-member store reuse* (an SCC whose
+    summary an earlier member admitted is never solved again) and
+    *session-edit equivalence* (feeding each variant through one live
+    :class:`IncrementalSession` fingerprint-matches a cold solve).
+
+    ``minimize_dir`` turns failures into reproducers: the first minimizable
+    mismatch per program is ddmin-reduced (:mod:`repro.gen.minimize`) and
+    emitted as a pytest file under that directory (``report.reproducers``).
     """
     profile = profile or GenProfile.default()
     backends = tuple(backends)
@@ -183,6 +213,7 @@ def run_oracle(
         backends=backends,
         derives_samples=derives_samples,
         min_conservativeness=min_conservativeness,
+        family_members=family_members if families else 0,
     )
     naive = load_naive_reference() if derives_samples > 0 else None
     if derives_samples > 0 and naive is None:
@@ -200,10 +231,12 @@ def run_oracle(
     }
     cache_service = AnalysisService(ServiceConfig(use_cache=True))
     rng = random.Random(seed)
+    total = count + families
     try:
         if corpus is None:
             corpus = generate_corpus(count, seed, profile)
         for index, program in enumerate(corpus):
+            before = len(report.mismatches)
             _check_program(
                 program,
                 report,
@@ -216,8 +249,25 @@ def run_oracle(
                 rng,
             )
             report.programs += 1
+            _emit_reproducers(program, report, before, minimize_dir)
             if progress is not None:
-                progress(index + 1, count)
+                progress(index + 1, total)
+        for index in range(families):
+            family = generate_family(
+                seed + index, profile, members=family_members,
+                name=f"fam{seed}_{index}",
+            )
+            _check_family(
+                family,
+                report,
+                reference,
+                backend_services,
+                min_conservativeness,
+                minimize_dir,
+            )
+            report.families += 1
+            if progress is not None:
+                progress(count + index + 1, total)
     finally:
         reference.close()
         cache_service.close()
@@ -310,19 +360,15 @@ def _check_program(
 
     # -- (c) conservativeness vs. ground truth ---------------------------------
     report.count("conservativeness")
-    metrics = evaluate_program(program.name, ref_types, comp.ground_truth)
-    if metrics.conservativeness < min_conservativeness:
-        offenders = [
-            f"{c.function}/{c.location}: {c.inferred} vs truth {c.truth}"
-            for c in metrics.comparisons
-            if not c.conservative
-        ]
+    failure = conservativeness_failure(
+        program.name, program.source, ref_types, comp.ground_truth, min_conservativeness
+    )
+    if failure is not None:
         report.mismatches.append(
             OracleMismatch(
                 program.name,
                 "conservativeness",
-                f"{metrics.conservativeness:.2f} < {min_conservativeness:.2f} "
-                f"(seed {program.seed}): " + "; ".join(offenders[:3]),
+                f"(seed {program.seed}) {failure}",
             )
         )
 
@@ -366,3 +412,142 @@ def _check_program(
                     )
                 )
                 break
+
+
+def _check_family(
+    family: GeneratedFamily,
+    report: OracleReport,
+    reference: AnalysisService,
+    backend_services: Dict[str, AnalysisService],
+    min_conservativeness: float,
+    minimize_dir: Optional[str],
+) -> None:
+    """Family-mode checks: per-member identity plus cross-member reuse.
+
+    Members flow, in order, through one fresh cache-backed service and one
+    live :class:`IncrementalSession`, so the session-edit path and the
+    summary store see exactly the family's own history:
+
+    * every member's live-session result must fingerprint-match a cold
+      uncached solve of that member (``family:session``);
+    * an SCC whose store key an earlier member admitted must be served from
+      cache, never re-solved (``family:store-reuse``), and every variant must
+      actually share summaries with its predecessors -- toggles edit a few
+      procedures, not the whole program.
+    """
+    family_service = AnalysisService(ServiceConfig(use_cache=True))
+    session = IncrementalSession(family_service)
+    admitted: Dict[str, str] = {}  # store key -> first member that admitted it
+    try:
+        for member in family.members:
+            before = len(report.mismatches)
+            comp = member.program.compile()
+            ref_types = reference.analyze(comp.program)
+            ref_fp = result_fingerprint(ref_types)
+            toggles = ", ".join(t.describe() for t in member.toggles) or "<base>"
+
+            for backend, service in backend_services.items():
+                report.count(f"family:backend:{backend}")
+                fp = result_fingerprint(service.analyze(comp.program))
+                if fp != ref_fp:
+                    report.mismatches.append(
+                        OracleMismatch(
+                            member.name,
+                            f"family:backend:{backend}",
+                            f"variant result differs from serial reference "
+                            f"(seed {family.seed}, toggles {toggles})",
+                        )
+                    )
+
+            report.count("family:conservativeness")
+            failure = conservativeness_failure(
+                member.name,
+                member.source,
+                ref_types,
+                comp.ground_truth,
+                min_conservativeness,
+            )
+            if failure is not None:
+                report.mismatches.append(
+                    OracleMismatch(
+                        member.name,
+                        "family:conservativeness",
+                        f"(seed {family.seed}, toggles {toggles}) {failure}",
+                    )
+                )
+
+            report.count("family:session")
+            live = session.analyze(comp.program)
+            if result_fingerprint(live) != ref_fp:
+                report.mismatches.append(
+                    OracleMismatch(
+                        member.name,
+                        "family:session",
+                        f"session edit differs from a cold solve "
+                        f"(seed {family.seed}, toggles {toggles})",
+                    )
+                )
+
+            report.count("family:store-reuse")
+            scc_keys: Dict[str, str] = live.stats.get("scc_store_keys", {})
+            solved = set(live.stats.get("solved_procedures", []))
+            stale = sorted(
+                scc
+                for scc, key in scc_keys.items()
+                if key in admitted and set(scc.split("|")) & solved
+            )
+            if stale:
+                report.mismatches.append(
+                    OracleMismatch(
+                        member.name,
+                        "family:store-reuse",
+                        f"re-solved SCCs whose summaries were admitted by "
+                        f"{sorted({admitted[scc_keys[s]] for s in stale})}: "
+                        f"{stale[:3]} (seed {family.seed})",
+                    )
+                )
+            if member.index > 0 and not any(key in admitted for key in scc_keys.values()):
+                report.mismatches.append(
+                    OracleMismatch(
+                        member.name,
+                        "family:store-reuse",
+                        f"variant shares no summaries with earlier members "
+                        f"(seed {family.seed}, toggles {toggles})",
+                    )
+                )
+            for key in scc_keys.values():
+                admitted.setdefault(key, member.name)
+
+            _emit_reproducers(member.program, report, before, minimize_dir)
+    finally:
+        family_service.close()
+
+
+def _emit_reproducers(
+    program: GeneratedProgram,
+    report: OracleReport,
+    since: int,
+    minimize_dir: Optional[str],
+) -> None:
+    """ddmin the first minimizable mismatch recorded after ``since`` into a
+    committed pytest reproducer (one per program; see repro.gen.minimize)."""
+    if minimize_dir is None:
+        return
+    from .minimize import ORACLE_PREDICATES, emit_regression_test, minimize_program
+
+    for mismatch in report.mismatches[since:]:
+        check = mismatch.check
+        if check.startswith("family:"):
+            check = check[len("family:"):]
+        if check not in ORACLE_PREDICATES:
+            continue
+        try:
+            result = minimize_program(
+                program, check, profile_name=report.profile_name
+            )
+        except ValueError:
+            # The failure does not reproduce through the standalone
+            # predicate (e.g. it needed the sweep's exact cache history).
+            continue
+        report.reproducers.append(emit_regression_test(result, minimize_dir))
+        return

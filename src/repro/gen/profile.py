@@ -53,6 +53,24 @@ class GenProfile:
     polymorphic_weight: float = 0.75
     #: number of driver functions calling a random sample of the library.
     drivers: int = 1
+    #: probability of emitting the union-style overlapping-views idiom: two
+    #: struct declarations sharing a common ``int tag`` prefix plus readers
+    #: that cast one view to the other and touch the overlapping field (the
+    #: discriminated-union-with-common-header C pattern).
+    union_weight: float = 0.4
+    #: number of global scalar variables, each threaded through an accessor
+    #: that reads and writes it directly (no address-of; the mini-C code
+    #: generator does not support ``&global``).
+    n_globals: int = 1
+    #: probability of emitting the varargs-style idiom: a ``(count, slots)``
+    #: walker over an ``int *`` argument pack plus a forwarder that calls the
+    #: variadic ``printf`` extern with more actuals than declared formals.
+    varargs_weight: float = 0.4
+    #: probability of emitting an indirect-call dispatch table: a struct of
+    #: ``void *`` handler slots with init/select helpers and a ``fire``
+    #: function that registers the selected slot through ``signal`` -- code
+    #: pointers of unknown interface flowing through data.
+    dispatch_weight: float = 0.4
 
     # -- named presets -----------------------------------------------------------
 
@@ -77,6 +95,10 @@ class GenProfile:
             mutual_recursion_pairs=2,
             dead_functions=3,
             drivers=3,
+            union_weight=0.8,
+            n_globals=2,
+            varargs_weight=0.8,
+            dispatch_weight=0.8,
         )
 
     def scaled(self, factor: float) -> "GenProfile":

@@ -410,6 +410,14 @@ class AnalysisService:
             stats["worker_disk_reused"] = runner.disk_reused
         if self.store is not None:
             stats["store"] = self.store.stats.snapshot()
+        if keys:
+            # The content-transitive store key of every SCC this run, keyed by
+            # the "|"-joined member list.  Cross-run consumers (the family
+            # oracle's store-reuse assertion) use these to prove that an SCC
+            # whose summary was admitted earlier is never solved again.
+            stats["scc_store_keys"] = {
+                "|".join(scc): keys[tuple(scc)] for scc in sccs
+            }
         return results, stats
 
 

@@ -1,0 +1,169 @@
+"""Property tests for toggle-derived program families (repro.gen.family).
+
+The family contract: member 0 is the base program; every variant differs
+from the base by *exactly* its declared toggles (re-applying them to the
+base reproduces the variant byte-for-byte); every member carries its own
+well-formed answer key derived through the real parse+typecheck path; and
+the whole family is byte-identical across calls, processes and
+``PYTHONHASHSEED`` values.  The family oracle mode on top of this proves
+cross-member summary-store reuse and incremental-session equivalence.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.frontend import parse_c, typecheck
+from repro.gen import GenProfile, family_answer_key_json, run_oracle
+from repro.gen.family import (
+    apply_toggles,
+    enumerate_toggles,
+    generate_families,
+    generate_family,
+)
+
+SMOKE = GenProfile.smoke()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=2, max_value=5),
+)
+def test_family_generation_is_deterministic_across_calls(seed, members):
+    first = generate_family(seed, SMOKE, members=members)
+    second = generate_family(seed, SMOKE, members=members)
+    assert [m.source for m in first.members] == [m.source for m in second.members]
+    assert [m.toggles for m in first.members] == [m.toggles for m in second.members]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_members_differ_from_base_by_exactly_the_declared_toggles(seed):
+    family = generate_family(seed, SMOKE, members=4)
+    base = family.base
+    assert family.members[0].toggles == ()
+    for member in family.members[1:]:
+        assert member.toggles, "variant declares no toggles"
+        assert member.source != base.source
+        # Replaying the declared toggles against the base reproduces the
+        # variant byte-for-byte: the toggles are the *whole* difference.
+        replayed = apply_toggles(base, member.toggles, name=member.name)
+        assert replayed.source == member.source
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_family_answer_keys_are_well_formed(seed):
+    family = generate_family(seed, SMOKE, members=3)
+    key = family.answer_key()
+    assert set(key) == {m.name for m in family.members}
+    for member in family.members:
+        truth = key[member.name]
+        # the key covers exactly the member's functions and typechecks again.
+        assert set(truth.functions) == set(member.program.functions)
+        checked = typecheck(parse_c(member.source))
+        assert checked.signatures
+    doc = family_answer_key_json(family)
+    assert [m["toggles"] for m in doc["members"]][0] == []
+    assert all(m["functions"] for m in doc["members"])
+
+
+def test_toggle_pool_is_nonempty_and_source_ordered():
+    program = generate_family(123, SMOKE, members=1).base
+    pool = enumerate_toggles(program)
+    assert pool, "no applicable toggles for a smoke-profile program"
+    assert pool == enumerate_toggles(program)  # stable ordering
+    kinds = {toggle.kind for toggle in pool}
+    assert "add-field" in kinds  # always available: every program has a struct
+
+
+def test_families_regenerate_independently():
+    families = generate_families(3, seed=77, profile=SMOKE, members=3)
+    for family in families:
+        again = generate_family(
+            family.seed, SMOKE, members=3, name=family.name
+        )
+        assert [m.source for m in again.members] == [m.source for m in family.members]
+
+
+def test_family_generation_deterministic_across_processes():
+    """Byte-identical families regardless of hash randomization."""
+    local = {}
+    for seed in (0, 42):
+        family = generate_family(seed, SMOKE, members=3)
+        joined = "\x00".join(m.source for m in family.members)
+        local[seed] = hashlib.sha256(joined.encode()).hexdigest()
+    script = (
+        "import hashlib\n"
+        "from repro.gen import GenProfile\n"
+        "from repro.gen.family import generate_family\n"
+        "for seed in (0, 42):\n"
+        "    family = generate_family(seed, GenProfile.smoke(), members=3)\n"
+        "    joined = '\\x00'.join(m.source for m in family.members)\n"
+        "    print(seed, hashlib.sha256(joined.encode()).hexdigest())\n"
+    )
+    for hashseed in ("0", "271828"):
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                "PYTHONHASHSEED": hashseed,
+                "PYTHONPATH": os.path.join(REPO_ROOT, "src"),
+                "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+            },
+            cwd=REPO_ROOT,
+        )
+        for line in out.stdout.strip().splitlines():
+            seed_text, digest = line.split()
+            assert local[int(seed_text)] == digest, (
+                f"family seed {seed_text} differs under PYTHONHASHSEED={hashseed}"
+            )
+
+
+def test_family_oracle_mode_proves_reuse_and_session_equivalence():
+    """A small live run of the family sweep: zero mismatches, and the
+    family-specific checks (store reuse, session equivalence) actually ran."""
+    report = run_oracle(
+        count=0,
+        seed=20160613,
+        profile=SMOKE,
+        profile_name="smoke",
+        backends=("serial",),
+        derives_samples=0,
+        families=2,
+        family_members=3,
+    )
+    assert report.ok, report.summary()
+    assert report.families == 2
+    assert report.checks.get("family:store-reuse") == 6
+    assert report.checks.get("family:session") == 6
+    assert "--families 2 --members 3" in report.summary()
+
+
+def test_family_suite_workload_clusters_members():
+    from repro.eval import family_suite
+
+    workloads = family_suite(2, profile=SMOKE, members=3)
+    assert len(workloads) == 6
+    clusters = {w.cluster for w in workloads}
+    assert len(clusters) == 2
+    for workload in workloads:
+        assert workload.ground_truth.functions
+        assert workload.program.instruction_count > 0
+
+
+def test_single_member_family_is_just_the_base():
+    family = generate_family(9, SMOKE, members=1)
+    assert len(family.members) == 1
+    assert family.members[0].toggles == ()
+    with pytest.raises(ValueError):
+        generate_family(9, SMOKE, members=0)

@@ -1,0 +1,197 @@
+"""Tests for the ddmin auto-minimizer (repro.gen.minimize).
+
+Properties: the minimized program still fails the original predicate, is
+1-minimal at procedure granularity (no single procedure can be removed
+without breaking compilation or losing the failure), and minimization is
+deterministic for a fixed seed.  The end-to-end test injects a known
+conservativeness bug behind the ``REPRO_ORACLE_INJECT`` env flag, runs the
+real oracle sweep with ``minimize_dir`` set, and asserts a ``tests/regress``
+style pytest file is emitted, collects cleanly, and passes once the flag is
+gone -- with the minimized program at most 25% of the original's size.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.frontend import compile_c
+from repro.gen import GenProfile, generate_program, run_oracle
+from repro.gen.generator import _render
+from repro.gen.minimize import (
+    ORACLE_PREDICATES,
+    _ddmin,
+    _split_statements,
+    emit_regression_test,
+    minimize_program,
+)
+
+SMOKE = GenProfile.smoke()
+
+
+def _inject_target(program):
+    """A source substring unique to one procedure of ``program`` -- the
+    'bug site' the injected predicate keys on."""
+    name = sorted(n for n in program.functions if "chain" in n or "get" in n)[0]
+    return name, f"{name}(int"
+
+
+@pytest.fixture
+def injected(monkeypatch):
+    program = generate_program(7, SMOKE, name="inj7")
+    name, needle = _inject_target(program)
+    monkeypatch.setenv("REPRO_ORACLE_INJECT", needle)
+    return program, name
+
+
+def test_ddmin_finds_single_failing_item():
+    items = list(range(20))
+    calls = []
+
+    def fails(subset):
+        calls.append(tuple(subset))
+        return 13 in subset
+
+    assert _ddmin(items, fails) == [13]
+    assert calls == [tuple(c) for c in calls]  # deterministic visit order
+
+
+def test_ddmin_keeps_dependent_pairs():
+    # failure requires both 3 and 11: ddmin must keep exactly that pair.
+    assert _ddmin(list(range(16)), lambda s: 3 in s and 11 in s) == [3, 11]
+
+
+def test_split_statements_keeps_braces_balanced():
+    program = generate_program(2, SMOKE)
+    for name, text in program._blocks:
+        header, groups, footer = _split_statements(text)
+        assert header.endswith("{") and footer.strip() == "}"
+        for group in groups:
+            joined = "\n".join(group)
+            assert joined.count("{") == joined.count("}")
+        assert _render([], [(name, text)]) == _render(
+            [], [(name, "\n".join([header] + [l for g in groups for l in g] + [footer]))]
+        )
+
+
+def test_minimized_program_still_fails_and_is_1_minimal(injected):
+    program, bug_function = injected
+    result = minimize_program(program, "conservativeness", profile_name="smoke")
+    predicate = ORACLE_PREDICATES["conservativeness"]
+    # still failing, and on the declared bug site.
+    assert predicate(result.name, result.source) is not None
+    assert bug_function in result.functions
+    # 1-minimal at procedure granularity: dropping any surviving procedure
+    # either breaks compilation or makes the predicate pass.
+    blocks = [(name, text) for name, text in program._blocks if name in result.functions]
+    assert len(blocks) == len(result.functions)
+    for index in range(len(blocks)):
+        if len(blocks) == 1:
+            break
+        candidate = blocks[:index] + blocks[index + 1 :]
+        source = _render(
+            list(program._struct_blocks), candidate, list(program._global_decls)
+        )
+        try:
+            compile_c(source)
+        except Exception:
+            continue  # removal breaks compilation: fine
+        # A compiling candidate with one fewer procedure must not fail any
+        # more -- otherwise that procedure was removable and the result was
+        # not 1-minimal.
+        assert predicate(program.name, source) is None, (
+            f"procedure {blocks[index][0]} is removable"
+        )
+
+
+def test_minimization_is_deterministic(injected):
+    program, _ = injected
+    first = minimize_program(program, "conservativeness", profile_name="smoke")
+    second = minimize_program(program, "conservativeness", profile_name="smoke")
+    assert first.source == second.source
+    assert first.functions == second.functions
+    assert first.evaluations == second.evaluations
+
+
+def test_statement_pass_shrinks_function_bodies(injected):
+    program, bug_function = injected
+    result = minimize_program(program, "conservativeness", profile_name="smoke")
+    original = dict(program._blocks)[bug_function]
+    assert result.reduction <= 0.25, (
+        f"minimized to {result.reduction:.0%} of the original, expected <= 25%"
+    )
+    assert len(result.source) < len(program.source)
+    assert original.splitlines()[0] in result.source  # signature survives
+
+
+def test_minimize_requires_a_failing_program():
+    program = generate_program(3, SMOKE)
+    with pytest.raises(ValueError):
+        minimize_program(program, "conservativeness")
+    with pytest.raises(ValueError):
+        minimize_program(program, "no-such-predicate")
+
+
+def test_oracle_end_to_end_emits_collectable_reproducer(tmp_path, monkeypatch):
+    from repro.gen import generate_corpus
+
+    # the exact program the count=1 sweep below will regenerate and check.
+    program = generate_corpus(1, 7, SMOKE)[0]
+    _, needle = _inject_target(program)
+    monkeypatch.setenv("REPRO_ORACLE_INJECT", needle)
+    out_dir = tmp_path / "regress"
+    report = run_oracle(
+        count=1,
+        seed=7,
+        profile=SMOKE,
+        profile_name="smoke",
+        backends=("serial",),
+        derives_samples=0,
+        minimize_dir=str(out_dir),
+    )
+    assert not report.ok
+    assert any(m.check == "conservativeness" for m in report.mismatches)
+    assert len(report.reproducers) == 1
+    path = report.reproducers[0]
+    assert os.path.exists(path)
+    assert "reproducer:" in report.summary()
+
+    # The emitted file is a real pytest module: it collects cleanly and,
+    # with the injected bug gone, passes.
+    env = {
+        "PYTHONPATH": os.path.join(REPO_ROOT, "src"),
+        "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+    }
+    collected = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "--collect-only", "-q"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert collected.returncode == 0, collected.stdout + collected.stderr
+    passed = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "-q"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert passed.returncode == 0, passed.stdout + passed.stderr
+
+    # The committed program is small: <= 25% of the failing member's source.
+    content = open(path, encoding="utf-8").read()
+    minimized = content.split('MINIMIZED_SOURCE = """\\\n', 1)[1].split('"""', 1)[0]
+    assert len(minimized) <= 0.25 * len(program.source)
+
+
+def test_emit_is_idempotent_and_content_addressed(tmp_path, injected):
+    program, _ = injected
+    result = minimize_program(program, "conservativeness", profile_name="smoke")
+    first = emit_regression_test(result, str(tmp_path))
+    second = emit_regression_test(result, str(tmp_path))
+    assert first == second
+    assert len(list(tmp_path.iterdir())) == 1
