@@ -503,6 +503,27 @@ class FleetRouter:
         if params.get("program_id") is not None:
             # Per-program stats follow the same ownership routing as query.
             return await self._routed_program_op("stats", params)
+
+        async def shard_row(shard: "_Shard") -> Dict[str, object]:
+            """The shard's snapshot, enriched with its live serving-path
+            counters (gate depth, coalesced/shed totals) when it answers --
+            dead or unreachable shards keep the bare snapshot row."""
+            row = shard.snapshot()
+            if not shard.healthy:
+                return row
+            try:
+                stats = await shard.call("stats")
+            except (TypeQueryError, OSError):
+                return row
+            row["requests_served"] = stats.get("requests_served")
+            row["gate"] = stats.get("gate")
+            row["coalesced_total"] = stats.get("coalesced_total", 0)
+            row["shed_total"] = stats.get("shed_total", 0)
+            return row
+
+        ordered = sorted(self.shards.items())
+        rows = await asyncio.gather(*(shard_row(shard) for _, shard in ordered))
+        shard_rows = {str(shard_id): row for (shard_id, _), row in zip(ordered, rows)}
         return None, {
             "role": "router",
             "uptime_seconds": time.monotonic() - self._started,
@@ -512,10 +533,11 @@ class FleetRouter:
             "owners_tracked": len(self._owners),
             "sessions_open": len(self._sessions),
             "store_addr": self.config.store_addr,
-            "shards": {
-                str(shard_id): shard.snapshot()
-                for shard_id, shard in sorted(self.shards.items())
-            },
+            # Fleet-wide serving-path totals, summed over the shards that
+            # answered (a dead shard's counters are unknowable, not zero).
+            "coalesced_total": sum(row.get("coalesced_total", 0) for row in rows),
+            "shed_total": sum(row.get("shed_total", 0) for row in rows),
+            "shards": shard_rows,
         }
 
     async def _op_metrics(self, params: Dict[str, object]) -> Tuple[object, object]:

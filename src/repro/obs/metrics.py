@@ -155,6 +155,12 @@ class Histogram:
         with self._lock:
             if self._count == 0:
                 return None
+            if self._min == self._max:
+                # Degenerate distributions -- a single sample, or many equal
+                # ones: the quantile IS the observed value.  Short-circuit
+                # before bucket walking so no interpolation can ever invent a
+                # value outside what was observed.
+                return self._min
             target = q * self._count
             cumulative = 0
             for i, bucket_count in enumerate(self._counts):

@@ -75,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=int, default=64, help="analyses queued before 'overloaded' replies (default: %(default)s)"
     )
     parser.add_argument(
+        "--max-queue-wait",
+        type=float,
+        default=30.0,
+        help="shed with 'overloaded' when the estimated queue wait exceeds "
+        "this many seconds; 0 disables the estimate and keeps only the "
+        "static --max-pending cap (default: %(default)s)",
+    )
+    parser.add_argument(
         "--max-request-bytes", type=int, default=MAX_LINE_BYTES, help="request line cap (default: %(default)s)"
     )
     parser.add_argument(
@@ -141,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry_capacity=args.registry_capacity,
         max_concurrency=args.max_concurrency,
         max_pending=args.max_pending,
+        max_queue_wait_seconds=args.max_queue_wait or None,
         max_request_bytes=args.max_request_bytes,
         parallel_waves=args.parallel_waves,
         backend=args.backend,

@@ -23,17 +23,24 @@ clients connect over TCP and speak the newline-delimited JSON protocol of
 
 Concurrency model: the event loop only parses, dispatches and serializes.
 All solving runs on a thread pool, admission to which is bounded by a global
-gate (``max_concurrency`` running, at most ``max_pending`` queued -- beyond
-that the server answers a typed ``overloaded`` error instead of accepting
-unbounded work).  Per connection, requests are handled strictly in order and
-each response is drained before the next request is read, so one slow client
-gets backpressure instead of an unbounded output buffer.
+gate (``max_concurrency`` running, at most ``max_pending`` queued).  Admission
+control is queue-depth aware: beyond the static cap, the gate sheds with a
+typed ``overloaded`` error whenever the *estimated* queue wait (queue depth
+times a service-time EWMA, floored by the age of the oldest running job)
+exceeds ``max_queue_wait_seconds`` -- so under overload a request is refused
+immediately instead of queueing toward an unbounded p99.  Identical
+concurrent ``analyze`` submissions are single-flight coalesced: one leader
+solves, followers share its result (``server_coalesced_total``).  Per
+connection, requests are handled strictly in order and each response is
+drained before the next request is read, so one slow client gets
+backpressure instead of an unbounded output buffer.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextvars
+import itertools
 import logging
 import os
 import time
@@ -83,6 +90,11 @@ class ServerConfig:
     max_concurrency: int = 4
     #: analyses allowed to queue on the gate before ``overloaded`` replies.
     max_pending: int = 64
+    #: estimated queue wait (seconds) beyond which the gate sheds new work
+    #: with ``overloaded`` even before ``max_pending`` fills -- the knob that
+    #: keeps p99 bounded under overload.  ``None`` disables the estimate and
+    #: falls back to the static ``max_pending`` cap alone.
+    max_queue_wait_seconds: Optional[float] = 30.0
     #: per-request line cap; longer lines get a ``too_large`` error.
     max_request_bytes: int = protocol.MAX_LINE_BYTES
     #: legacy spelling of ``backend="threads"``; ignored when ``backend`` set.
@@ -147,6 +159,16 @@ class TypeQueryServer:
         self._gate: Optional[asyncio.Semaphore] = None  # loop-bound; made in start()
         self._pending = 0
         self._running = 0
+        #: EWMA of successful gated-job service times; failures are excluded
+        #: because they return fast and would drag the estimate optimistic.
+        self._service_ewma = 0.0
+        #: job token -> monotonic start time of jobs holding a gate slot; the
+        #: oldest age floors the service estimate so a stalled gate looks
+        #: expensive even before anything completes.
+        self._running_started: Dict[int, float] = {}
+        self._job_ids = itertools.count(1)
+        self.coalesced_total = 0
+        self.shed_total = 0
         # The daemon is the long-lived owner of observability: ensure the
         # process default is a real registry so every layer's counters land
         # where the ``metrics`` verb can serve them.
@@ -308,15 +330,64 @@ class TypeQueryServer:
 
     # -- the global concurrency gate -------------------------------------------
 
-    async def _run_analysis(self, fn: Callable[[], object]) -> object:
-        """Run blocking analysis work on the pool, bounded by the global gate."""
+    #: weight of the newest sample in the service-time EWMA.
+    _EWMA_ALPHA = 0.3
+
+    def _estimated_queue_wait(self) -> float:
+        """Seconds a newly admitted job would wait before holding a gate slot.
+
+        Zero while any slot is free.  Otherwise the per-job service estimate
+        -- the EWMA of completed gated jobs, floored by the age of the oldest
+        job currently running -- scaled by the queue positions the newcomer
+        would sit behind, spread over the gate's ``max_concurrency`` lanes.
+        """
+        slots = self.config.max_concurrency
+        if self._running < slots:
+            return 0.0
+        service = self._service_ewma
+        if self._running_started:
+            oldest_age = time.monotonic() - min(self._running_started.values())
+            service = max(service, oldest_age)
+        queued = max(0, self._pending - self._running)
+        return (queued + 1) / slots * service
+
+    def _shed(self, reason: str, message: str) -> ProtocolError:
+        self.shed_total += 1
+        self.metrics.counter("server_shed_total", reason=reason).inc()
+        return ProtocolError(ErrorCode.OVERLOADED, message)
+
+    async def _run_gated(self, fn: Callable[[], object]) -> object:
+        """Run blocking analysis work on the pool, bounded by the global gate.
+
+        Admission control sheds *before* queueing: the ``overloaded`` error
+        raises synchronously (no awaits between the checks and the reply
+        path), when either the static ``max_pending`` cap is hit or the
+        estimated queue wait exceeds ``max_queue_wait_seconds`` -- so a shed
+        request never sits in the queue and tail latency under overload is
+        bounded by the wait cap, not the queue depth.
+
+        Accounting invariant: ``_pending``/``_running`` (and the
+        ``server_gate_pending``/``server_gate_inflight`` gauges) move up and
+        down exactly once each on every exit path -- success, a raising
+        pooled job, or the awaiting client disconnecting while queued
+        (cancellation unwinds through the same ``finally`` blocks).
+        """
         assert self._gate is not None
         if self._pending >= self.config.max_pending:
-            raise ProtocolError(
-                ErrorCode.OVERLOADED,
+            raise self._shed(
+                "max_pending",
                 f"{self._pending} analyses already queued (max_pending="
                 f"{self.config.max_pending}); retry later",
             )
+        wait_cap = self.config.max_queue_wait_seconds
+        if wait_cap is not None:
+            estimate = self._estimated_queue_wait()
+            if estimate > wait_cap:
+                raise self._shed(
+                    "queue_wait",
+                    f"estimated queue wait {estimate:.2f}s exceeds "
+                    f"max_queue_wait_seconds={wait_cap}; retry later",
+                )
         tracer = get_tracer()
         context = _REQUEST_SPAN.get()
         if tracer.enabled and context is not None:
@@ -329,14 +400,26 @@ class TypeQueryServer:
         self.metrics.gauge("server_gate_pending").set(self._pending)
         try:
             async with self._gate:
+                job = next(self._job_ids)
+                started = time.monotonic()
                 self._running += 1
+                self._running_started[job] = started
                 self.metrics.gauge("server_gate_inflight").set(self._running)
                 try:
                     loop = asyncio.get_running_loop()
-                    return await loop.run_in_executor(self._executor, work)
+                    result = await loop.run_in_executor(self._executor, work)
                 finally:
                     self._running -= 1
+                    self._running_started.pop(job, None)
                     self.metrics.gauge("server_gate_inflight").set(self._running)
+                # Reached only on success: failed jobs (parse errors return
+                # in microseconds) must not feed the service-time estimate.
+                elapsed = time.monotonic() - started
+                if self._service_ewma:
+                    self._service_ewma += self._EWMA_ALPHA * (elapsed - self._service_ewma)
+                else:
+                    self._service_ewma = elapsed
+                return result
         finally:
             self._pending -= 1
             self.metrics.gauge("server_gate_pending").set(self._pending)
@@ -377,34 +460,55 @@ class TypeQueryServer:
         return ProgramRegistry.make_id(kind, source, self._environment)
 
     async def _intake(self, params: Dict[str, object]) -> Tuple[str, object, bool]:
-        """Shared analyze path: returns (program_id, types, served_without_solving).
+        """Shared analyze path: returns (program_id, types, served_from_registry).
 
-        In-flight requests are deduplicated by content hash: when N clients
-        submit the same never-seen source concurrently, exactly one analysis
-        runs and the other N-1 await its future (the registry docstring's
-        "analyzes once" holds under concurrency, and duplicate submissions
-        cannot saturate the gate).
+        In-flight requests are single-flight coalesced by content hash: when
+        N clients submit the same never-seen source concurrently, exactly one
+        leader runs the analysis while the other N-1 followers await its
+        future (counted by ``server_coalesced_total``) and build their
+        replies from the same result object -- so all N responses are
+        byte-identical, ``cached: false`` included: the solve happened in
+        *this* flight, for followers no less than for the leader.  Duplicate
+        submissions therefore cannot saturate the gate.  A leader whose own
+        client disconnects mid-solve fails its future with cancellation;
+        followers must not surface a stranger's hangup, so they loop and one
+        of them is elected the new leader.
         """
         source = protocol.require_str(params, "source")
         kind = protocol.source_kind(params)
         program_id = self._program_id(source, kind)
-        types = self.registry.get(program_id)
-        if types is not None:
-            return program_id, types, True
-        existing = self._inflight.get(program_id)
-        if existing is not None:
-            return program_id, await asyncio.shield(existing), True
+        while True:
+            types = self.registry.get(program_id)
+            if types is not None:
+                return program_id, types, True
+            existing = self._inflight.get(program_id)
+            if existing is None:
+                break  # no flight to join: become the leader below
+            self.coalesced_total += 1
+            self.metrics.counter("server_coalesced_total").inc()
+            try:
+                return program_id, await asyncio.shield(existing), False
+            except asyncio.CancelledError:
+                leader_died = existing.cancelled() or (
+                    existing.done()
+                    and isinstance(existing.exception(), asyncio.CancelledError)
+                )
+                if leader_died:
+                    continue  # elect a new leader instead of failing this request
+                raise  # *this* request's connection went away
         future = asyncio.get_running_loop().create_future()
         self._inflight[program_id] = future
         try:
-            types = await self._run_analysis(lambda: self._analyze_source(source, kind))
+            types = await self._run_gated(lambda: self._analyze_source(source, kind))
         except BaseException as exc:
             if not future.cancelled():
                 future.set_exception(exc)
                 future.exception()  # mark retrieved: waiters re-raise, logs stay quiet
             raise
         else:
-            self.registry.admit(program_id, types)
+            # First writer wins: a racing corpus batch may have admitted the
+            # program already, and queries could have observed its entry.
+            types = self.registry.admit_if_absent(program_id, types)
             if not future.cancelled():
                 future.set_result(types)
             return program_id, types, False
@@ -485,7 +589,15 @@ class TypeQueryServer:
                 "inflight": self._running,
                 "max_concurrency": self.config.max_concurrency,
                 "max_pending": self.config.max_pending,
+                "max_queue_wait_seconds": self.config.max_queue_wait_seconds,
+                "estimated_queue_wait_seconds": self._estimated_queue_wait(),
+                "service_ewma_seconds": self._service_ewma,
             },
+            # Serving-path efficiency counters: analyze submissions folded
+            # into another request's in-flight solve, and requests refused by
+            # admission control instead of queued.
+            "coalesced_total": self.coalesced_total,
+            "shed_total": self.shed_total,
             "sessions_open": len(self._sessions),
             "backend": self.config.backend
             or ("threads" if self.config.parallel_waves else "serial"),
@@ -554,7 +666,7 @@ class TypeQueryServer:
             }
             return analyze_corpus(parsed, service=self.service)
 
-        report = await self._run_analysis(run_batch)
+        report = await self._run_gated(run_batch)
         result: Dict[str, object] = {"programs": {}, "store": self.service.store.stats.snapshot()}
         for name, (source, kind) in normalized.items():
             program_report = report[name]
@@ -622,7 +734,7 @@ class TypeQueryServer:
             except Exception as exc:
                 raise ProtocolError(ErrorCode.ANALYSIS_ERROR, f"analysis failed: {exc}")
 
-        types = await self._run_analysis(run)
+        types = await self._run_gated(run)
         self.registry.admit(program_id, types)
         stats = types.stats
         return {

@@ -17,6 +17,9 @@ Both clients optionally retry transient failures: pass a
 :class:`RetryPolicy` (``retry=RetryPolicy(attempts=5)``) and a typed
 ``overloaded`` reply or a refused/dropped connection is retried with
 jittered exponential backoff (reconnecting first when the transport died).
+Dropped connections are only retried for idempotent verbs
+(:data:`repro.server.protocol.IDEMPOTENT_OPERATIONS`): a connection severed
+after the server applied a ``session.edit`` must not double-apply it.
 Retry is **off by default** -- a bare client fails fast, exactly as before.
 """
 
@@ -58,9 +61,13 @@ class RetryPolicy:
     Only two failure shapes are retried, because only they are transient by
     construction: a typed ``overloaded`` reply (the admission gate is full
     *right now*) and a refused or dropped connection (a server or fleet
-    shard is restarting / failing over).  Everything else -- parse errors,
-    unknown programs, bad params -- is deterministic; retrying would just
-    repeat the failure slower.
+    shard is restarting / failing over).  Dropped connections after the
+    request may have been delivered are additionally gated on verb
+    idempotency (see :func:`_retryable`) -- the server may have applied the
+    request before the transport died, so only verbs that are safe to apply
+    twice are replayed.  Everything else -- parse errors, unknown programs,
+    bad params -- is deterministic; retrying would just repeat the failure
+    slower.
 
     ``attempts`` counts *extra* tries after the first, so the default
     ``RetryPolicy()`` with ``attempts=3`` makes at most 4 requests.  Delays
@@ -79,12 +86,23 @@ class RetryPolicy:
         return bounded * (0.5 + random.random() / 2)
 
 
-def _retryable(exc: BaseException) -> bool:
-    if isinstance(exc, ServerConnectionError):
-        return True
+def _retryable(op: str, exc: BaseException, sent: bool) -> bool:
+    """Whether a failed request may be resent.
+
+    A typed ``overloaded`` reply means the server refused the work before
+    doing any of it -- safe to retry for every verb.  A transport failure
+    after the request may have reached the server (``sent``) is retried only
+    for :data:`protocol.IDEMPOTENT_OPERATIONS`: the server may already have
+    applied the request before the connection died, and replaying a
+    non-idempotent verb (``session.edit``) would apply it twice.  Failures
+    before the request went out (refused connections during the connect
+    phase) are retryable for every verb -- nothing was delivered.
+    """
+    if isinstance(exc, (ServerConnectionError, OSError)):
+        return (not sent) or op in protocol.IDEMPOTENT_OPERATIONS
     if isinstance(exc, TypeQueryError):
         return exc.code == protocol.ErrorCode.OVERLOADED
-    return isinstance(exc, OSError)
+    return False
 
 
 def _needs_reconnect(exc: BaseException) -> bool:
@@ -246,15 +264,17 @@ class TypeQueryClient(_VerbMixin):
             raise TypeQueryError(protocol.ErrorCode.BAD_REQUEST, "client is closed")
         attempt = 0
         while True:
+            sent = False
             try:
                 if self._file is None:
                     self._connect()
+                sent = True  # past here the request may have reached the server
                 return self._request_once(op, params)
             except (TypeQueryError, OSError) as exc:
                 if (
                     self.retry is None
                     or attempt >= self.retry.attempts
-                    or not _retryable(exc)
+                    or not _retryable(op, exc, sent)
                 ):
                     raise
                 if _needs_reconnect(exc):
@@ -357,6 +377,7 @@ class AsyncTypeQueryClient(_VerbMixin):
     async def request(self, op: str, params: Optional[Mapping[str, object]] = None):
         attempt = 0
         while True:
+            sent = False
             try:
                 if self._writer is None:
                     if self._endpoint is None:
@@ -364,13 +385,14 @@ class AsyncTypeQueryClient(_VerbMixin):
                             protocol.ErrorCode.BAD_REQUEST, "client is closed"
                         )
                     await self._reconnect()
+                sent = True  # past here the request may have reached the server
                 return await self._request_once(op, params)
             except (TypeQueryError, OSError) as exc:
                 reconnectable = self._endpoint is not None or not _needs_reconnect(exc)
                 if (
                     self.retry is None
                     or attempt >= self.retry.attempts
-                    or not _retryable(exc)
+                    or not _retryable(op, exc, sent)
                     or not reconnectable
                 ):
                     raise

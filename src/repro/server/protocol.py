@@ -86,6 +86,17 @@ OPERATIONS = frozenset(
     }
 )
 
+#: Verbs a client may safely resend after a transport failure mid-request.
+#: ``query``/``stats``/``metrics``/``health``/``ping`` are pure reads;
+#: ``analyze``/``corpus`` are content-addressed (resubmission is a registry
+#: hit, never a second solve), so replaying them cannot change server state.
+#: ``session.*`` are stateful -- a retried ``session.edit`` whose first copy
+#: was applied before the connection died would double-apply the edit -- and
+#: ``shutdown`` is one-way, so none of them belong here.
+IDEMPOTENT_OPERATIONS = frozenset(
+    {"ping", "health", "stats", "metrics", "analyze", "query", "corpus"}
+)
+
 #: formats the ``metrics`` verb can render its snapshot in.
 METRICS_FORMATS = frozenset({"json", "prometheus"})
 

@@ -70,6 +70,26 @@ class ProgramRegistry:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def admit_if_absent(self, program_id: str, types):
+        """Like :meth:`admit`, but the first writer wins.
+
+        Coalesced analyze leaders publish through this: if a racing path (a
+        concurrent ``corpus`` batch, say) already admitted the program, the
+        existing entry is kept -- and returned -- so late leaders can never
+        replace what queries may already have observed.
+        """
+        with self._lock:
+            existing = self._entries.get(program_id)
+            if existing is not None:
+                self._entries.move_to_end(program_id)
+                return existing
+            self._entries[program_id] = types
+            self.admits += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return types
+
     def __contains__(self, program_id: str) -> bool:
         with self._lock:
             return program_id in self._entries

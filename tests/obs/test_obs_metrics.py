@@ -138,6 +138,60 @@ def test_histogram_empty_and_validation():
         Histogram(buckets=(2.0, 1.0))
 
 
+@given(
+    st.floats(min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_histogram_single_sample_quantile_is_the_sample(value, q):
+    """One observation: every quantile IS that observation -- p99 of a single
+    sample must equal the sample, never an interpolation past it."""
+    hist = Histogram()
+    hist.observe(value)
+    assert hist.quantile(q) == value
+    assert all(v == value for v in hist.percentiles().values())
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.integers(min_value=1, max_value=50),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_histogram_degenerate_distribution_quantile_is_the_value(value, count, q):
+    """All-equal observations collapse to the value for every quantile."""
+    hist = Histogram()
+    for _ in range(count):
+        hist.observe(value)
+    assert hist.quantile(q) == value
+
+
+def test_latency_summary_edge_cases():
+    """The benchmark's summary helper mirrors the histogram's edge behavior:
+    count=0 yields None percentiles (never a crash), and a single sample's
+    p50/p95/p99 all equal the sample."""
+    import importlib.util
+    import pathlib
+
+    path = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "benchmarks"
+        / "bench_server_throughput.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_server_throughput", path)
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+
+    empty = bench.latency_summary([])
+    assert empty["count"] == 0
+    assert empty["mean_seconds"] is None
+    assert empty["p50"] is None and empty["p95"] is None and empty["p99"] is None
+
+    single = bench.latency_summary([0.123])
+    assert single["count"] == 1
+    assert single["mean_seconds"] == pytest.approx(0.123)
+    assert single["p50"] == single["p95"] == single["p99"] == 0.123
+    assert single["min_seconds"] == single["max_seconds"] == 0.123
+
+
 def test_histogram_overflow_bucket():
     hist = Histogram(buckets=(1.0,))
     hist.observe(50.0)

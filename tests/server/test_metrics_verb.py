@@ -110,7 +110,12 @@ def test_gate_depth_visible_when_filled():
     """
     release = threading.Event()
 
-    with running_server(max_concurrency=1, max_pending=3) as (host, port, instance):
+    # max_queue_wait_seconds=None isolates the static max_pending cap: this
+    # test wants the fourth submission to bounce on depth, not on the
+    # wait-estimate heuristic (covered in test_admission_coalescing.py).
+    with running_server(
+        max_concurrency=1, max_pending=3, max_queue_wait_seconds=None
+    ) as (host, port, instance):
         original = instance._analyze_source
 
         def blocking_analyze(source, kind):
@@ -140,12 +145,14 @@ def test_gate_depth_visible_when_filled():
                     if gate["pending"] == 3 and gate["inflight"] == 1:
                         break
                     time.sleep(0.02)
-                assert gate == {
-                    "pending": 3,
-                    "inflight": 1,
-                    "max_concurrency": 1,
-                    "max_pending": 3,
-                }
+                assert gate["pending"] == 3
+                assert gate["inflight"] == 1
+                assert gate["max_concurrency"] == 1
+                assert gate["max_pending"] == 3
+                assert gate["max_queue_wait_seconds"] is None
+                # Queue-wait visibility: with the only slot stalled and two
+                # jobs queued, the estimate must be strictly positive.
+                assert gate["estimated_queue_wait_seconds"] > 0.0
 
                 snapshot = observer.metrics()
                 assert metric(snapshot, "server_gate_pending")["value"] == 3

@@ -1,0 +1,137 @@
+"""Transport-failure retries are restricted to idempotent verbs.
+
+The dangerous shape: a connection severed *after* the server read (and maybe
+applied) the request but *before* the reply arrived.  A hand-rolled flaky
+server reproduces it deterministically -- it reads the first connection's
+request, then closes without replying.  A retrying client must resend only
+idempotent verbs (``query`` here); replaying a ``session.edit`` would apply
+the edit twice, so the client must surface the connection error instead.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.server import (
+    AsyncTypeQueryClient,
+    RetryPolicy,
+    ServerConnectionError,
+    TypeQueryClient,
+)
+from repro.server import protocol
+
+
+class FlakyServer:
+    """Kills the first connection mid-reply; answers every later one.
+
+    Every request line read is recorded in ``received`` *before* the kill, so
+    a test can prove exactly how many times the server saw (i.e. could have
+    applied) a verb.
+    """
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self.connections = 0
+        self.received = []
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            kill_after_read = self.connections == 1
+            handle = conn.makefile("rwb")
+            try:
+                while True:
+                    line = handle.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    self.received.append(request)
+                    if kill_after_read:
+                        # The server "applied" the request (it read it) but
+                        # the reply never makes it out: sever the transport.
+                        break
+                    reply = {
+                        "v": protocol.PROTOCOL_VERSION,
+                        "id": request.get("id"),
+                        "ok": True,
+                        "result": {"echo": request.get("op")},
+                    }
+                    handle.write((json.dumps(reply) + "\n").encode("utf-8"))
+                    handle.flush()
+            finally:
+                try:
+                    handle.close()
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def flaky():
+    server = FlakyServer()
+    yield server
+    server.close()
+
+
+def test_idempotent_verb_is_retried_across_dropped_connection(flaky):
+    """``query`` dropped mid-reply reconnects and succeeds on the retry."""
+    with TypeQueryClient(
+        port=flaky.port, retry=RetryPolicy(attempts=2, base_delay=0.01)
+    ) as client:
+        result = client.query("prog")
+    assert result == {"echo": "query"}
+    assert flaky.connections == 2
+    ops = [request["op"] for request in flaky.received]
+    assert ops == ["query", "query"]  # resent: safe, it is a pure read
+
+
+def test_non_idempotent_verb_is_not_retried(flaky):
+    """``session.edit`` dropped mid-reply surfaces the connection error --
+    the server saw the request exactly once, so nothing can double-apply."""
+    with TypeQueryClient(
+        port=flaky.port, retry=RetryPolicy(attempts=2, base_delay=0.01)
+    ) as client:
+        with pytest.raises(ServerConnectionError):
+            client.session_edit("sess", "int f(void) { return 1; }", kind="c")
+    assert flaky.connections == 1
+    ops = [request["op"] for request in flaky.received]
+    assert ops == ["session.edit"]  # delivered once, never replayed
+
+
+def test_async_client_matches_the_sync_retry_rules(flaky):
+    """The asyncio client applies the same idempotency gate."""
+
+    async def run():
+        client = await AsyncTypeQueryClient.connect(
+            port=flaky.port, retry=RetryPolicy(attempts=2, base_delay=0.01)
+        )
+        try:
+            with pytest.raises(ServerConnectionError):
+                await client.session_edit("sess", "int f(void) { return 1; }", kind="c")
+        finally:
+            await client.aclose()
+
+    asyncio.run(run())
+    assert flaky.connections == 1
+    assert [request["op"] for request in flaky.received] == ["session.edit"]
